@@ -1,0 +1,37 @@
+// Reproduces Figure 5: bar charts of Table 1 (embedded I/O) — throughput
+// and latency per node case, one chart pair per parallel file system.
+#include <cstdio>
+
+#include "chart.hpp"
+#include "experiment_config.hpp"
+
+using namespace pstap;
+using namespace pstap::bench;
+
+int main() {
+  std::printf("== Figure 5: embedded I/O — throughput and latency bar charts ==\n\n");
+
+  bool all_ok = true;
+  for (const auto& machine : paper_machines()) {
+    BarSeries thr{"throughput — " + machine.name, "CPI/s", {}};
+    BarSeries lat{"latency — " + machine.name, "s", {}};
+    for (const int total : node_cases()) {
+      const auto result = sim::SimRunner(embedded_spec(total), machine).run();
+      const std::string label = std::to_string(total) + " nodes";
+      thr.bars.emplace_back(label, result.measured_throughput);
+      lat.bars.emplace_back(label, result.measured_latency);
+    }
+    print_bars(thr);
+    print_bars(lat);
+
+    all_ok &= shape_check(machine.name + ": throughput grows monotonically",
+                          thr.bars[0].second < thr.bars[1].second &&
+                              thr.bars[1].second <= thr.bars[2].second * 1.001);
+    all_ok &= shape_check(machine.name + ": latency shrinks monotonically",
+                          lat.bars[0].second > lat.bars[1].second &&
+                              lat.bars[1].second > lat.bars[2].second);
+  }
+
+  std::printf("Figure 5 shape checks: %s\n", all_ok ? "ALL PASS" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

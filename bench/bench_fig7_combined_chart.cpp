@@ -1,0 +1,36 @@
+// Reproduces Figure 7: bar charts of Table 3 (PC + CFAR combined) —
+// throughput and latency per node case per parallel file system.
+#include <cstdio>
+
+#include "chart.hpp"
+#include "experiment_config.hpp"
+
+using namespace pstap;
+using namespace pstap::bench;
+
+int main() {
+  std::printf("== Figure 7: combined PC+CFAR — throughput and latency charts ==\n\n");
+
+  bool all_ok = true;
+  for (const auto& machine : paper_machines()) {
+    BarSeries thr{"throughput — " + machine.name, "CPI/s", {}};
+    BarSeries lat{"latency — " + machine.name, "s", {}};
+    for (const int total : node_cases()) {
+      const auto result = sim::SimRunner(combined_spec(total), machine).run();
+      const std::string label = std::to_string(total) + " nodes";
+      thr.bars.emplace_back(label, result.measured_throughput);
+      lat.bars.emplace_back(label, result.measured_latency);
+    }
+    print_bars(thr);
+    print_bars(lat);
+
+    all_ok &= shape_check(machine.name + ": throughput grows with node count",
+                          thr.bars[0].second < thr.bars[1].second &&
+                              thr.bars[1].second <= thr.bars[2].second * 1.001);
+    all_ok &= shape_check(machine.name + ": latency shrinks with node count",
+                          lat.bars[0].second > lat.bars[2].second);
+  }
+
+  std::printf("Figure 7 shape checks: %s\n", all_ok ? "ALL PASS" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure 8: performance comparison of the pipeline system with
+// (6 tasks) and without (7 tasks) task combining — throughput and latency
+// side by side per node case, one panel per file system.
+//
+// Shape targets: latency improves in every cell when the last two tasks
+// are combined; throughput is unchanged.
+#include <cstdio>
+
+#include "chart.hpp"
+#include "experiment_config.hpp"
+
+using namespace pstap;
+using namespace pstap::bench;
+
+int main() {
+  std::printf("== Figure 8: with vs without task combining ==\n\n");
+
+  bool all_ok = true;
+  for (const auto& machine : paper_machines()) {
+    BarSeries thr{"throughput — " + machine.name + " (7 vs 6 tasks)", "CPI/s", {}};
+    BarSeries lat{"latency — " + machine.name + " (7 vs 6 tasks)", "s", {}};
+    for (const int total : node_cases()) {
+      const auto seven = sim::SimRunner(embedded_spec(total), machine).run();
+      const auto six = sim::SimRunner(combined_spec(total), machine).run();
+      const std::string base = std::to_string(total);
+      thr.bars.emplace_back(base + " n/7t", seven.measured_throughput);
+      thr.bars.emplace_back(base + " n/6t", six.measured_throughput);
+      lat.bars.emplace_back(base + " n/7t", seven.measured_latency);
+      lat.bars.emplace_back(base + " n/6t", six.measured_latency);
+
+      const std::string label = machine.name + " @" + base + " nodes";
+      all_ok &= shape_check(label + ": 6-task latency < 7-task latency",
+                            six.measured_latency < seven.measured_latency);
+      all_ok &= shape_check(label + ": throughput preserved",
+                            six.measured_throughput > 0.98 * seven.measured_throughput);
+    }
+    print_bars(thr);
+    print_bars(lat);
+  }
+
+  std::printf("Figure 8 shape checks: %s\n", all_ok ? "ALL PASS" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+// google-benchmark microbenches of every STAP kernel — the real flop rates
+// behind the workload model's W_i terms.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "stap/beamform.hpp"
+#include "stap/cfar.hpp"
+#include "stap/doppler.hpp"
+#include "stap/pulse_compress.hpp"
+#include "stap/scene.hpp"
+#include "stap/weights.hpp"
+
+namespace {
+
+using namespace pstap;
+using namespace pstap::stap;
+
+RadarParams bench_params() {
+  RadarParams p = RadarParams::test_small();
+  p.ranges = 256;
+  return p;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  fft::FftPlan plan(n);
+  Rng rng(1);
+  std::vector<cfloat> data(n);
+  for (auto& v : data) v = rng.complex_normal();
+  for (auto _ : state) {
+    plan.transform(data, fft::Direction::kForward);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  fft::FftPlan plan(n);
+  Rng rng(2);
+  std::vector<cfloat> data(n);
+  for (auto& v : data) v = rng.complex_normal();
+  for (auto _ : state) {
+    plan.transform(data, fft::Direction::kForward);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(127)->Arg(1000);
+
+void BM_DopplerFilter(benchmark::State& state) {
+  const RadarParams p = bench_params();
+  SceneGenerator gen(p, SceneConfig{}, 1);
+  const DataCube cube = gen.generate(0);
+  DopplerFilter filter(p);
+  for (auto _ : state) {
+    auto out = filter.process(cube);
+    benchmark::DoNotOptimize(out.easy.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cube.samples()));
+}
+BENCHMARK(BM_DopplerFilter);
+
+void BM_WeightsEasy(benchmark::State& state) {
+  const RadarParams p = bench_params();
+  SceneGenerator gen(p, SceneConfig{}, 2);
+  DopplerFilter filter(p);
+  const auto out = filter.process(gen.generate(0));
+  WeightComputer wc(p, out.easy_bin_ids, p.easy_dof());
+  for (auto _ : state) {
+    auto ws = wc.compute(out.easy);
+    benchmark::DoNotOptimize(ws.flat().data());
+  }
+}
+BENCHMARK(BM_WeightsEasy);
+
+void BM_WeightsHard(benchmark::State& state) {
+  const RadarParams p = bench_params();
+  SceneGenerator gen(p, SceneConfig{}, 3);
+  DopplerFilter filter(p);
+  const auto out = filter.process(gen.generate(0));
+  WeightComputer wc(p, out.hard_bin_ids, p.hard_dof());
+  for (auto _ : state) {
+    auto ws = wc.compute(out.hard);
+    benchmark::DoNotOptimize(ws.flat().data());
+  }
+}
+BENCHMARK(BM_WeightsHard);
+
+void BM_Beamform(benchmark::State& state) {
+  const RadarParams p = bench_params();
+  SceneGenerator gen(p, SceneConfig{}, 4);
+  DopplerFilter filter(p);
+  const auto out = filter.process(gen.generate(0));
+  WeightComputer wc(p, out.hard_bin_ids, p.hard_dof());
+  const auto ws = wc.compute(out.hard);
+  Beamformer bf(p);
+  for (auto _ : state) {
+    auto y = bf.apply(out.hard, ws);
+    benchmark::DoNotOptimize(y.flat().data());
+  }
+}
+BENCHMARK(BM_Beamform);
+
+void BM_PulseCompression(benchmark::State& state) {
+  const RadarParams p = bench_params();
+  PulseCompressor pc(p);
+  Rng rng(5);
+  BeamArray beams(p.doppler_bins(), p.beams, p.ranges);
+  for (auto& v : beams.flat()) v = rng.complex_normal();
+  for (auto _ : state) {
+    pc.compress(beams);
+    benchmark::DoNotOptimize(beams.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(beams.samples()));
+}
+BENCHMARK(BM_PulseCompression);
+
+void BM_Cfar(benchmark::State& state) {
+  const RadarParams p = bench_params();
+  CfarDetector cfar(p);
+  Rng rng(6);
+  BeamArray beams(p.doppler_bins(), p.beams, p.ranges);
+  for (auto& v : beams.flat()) v = rng.complex_normal();
+  const auto ids = [&] {
+    std::vector<std::size_t> v(p.doppler_bins());
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+    return v;
+  }();
+  for (auto _ : state) {
+    auto dets = cfar.detect(beams, ids);
+    benchmark::DoNotOptimize(dets.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(beams.samples()));
+}
+BENCHMARK(BM_Cfar);
+
+void BM_SceneGeneration(benchmark::State& state) {
+  const RadarParams p = bench_params();
+  SceneConfig cfg;
+  cfg.clutter_patches = 16;
+  SceneGenerator gen(p, cfg, 7);
+  std::uint64_t cpi = 0;
+  for (auto _ : state) {
+    auto cube = gen.generate(cpi++);
+    benchmark::DoNotOptimize(cube.flat().data());
+  }
+}
+BENCHMARK(BM_SceneGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

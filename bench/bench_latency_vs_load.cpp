@@ -1,0 +1,59 @@
+// Ablation: latency and throughput vs offered load (radar rate).
+//
+// The paper measures the saturated pipeline (radar delivering CPIs as fast
+// as the pipeline drains them). This bench sweeps the source period around
+// the pipeline's capacity: below saturation the throughput tracks the
+// radar rate and the latency stays at its queueing-free floor; at and
+// beyond capacity the throughput pins to 1/max_i T_i.
+#include <cstdio>
+#include <iostream>
+
+#include "chart.hpp"
+#include "experiment_config.hpp"
+
+using namespace pstap;
+using namespace pstap::bench;
+
+int main() {
+  std::printf("== Ablation: latency/throughput vs offered load (sf=64, 50 nodes) ==\n\n");
+
+  const auto spec = embedded_spec(50);
+  const auto machine = sim::paragon_like(64);
+
+  // Capacity = bottleneck occupancy.
+  const auto base = sim::SimRunner(spec, machine).run();
+  double t_max = 0;
+  for (const auto& c : base.costs) t_max = std::max(t_max, c.occupancy);
+
+  TablePrinter table("offered load sweep (capacity period = " +
+                     std::to_string(t_max) + " s)");
+  table.set_header({"load (frac of capacity)", "throughput (CPI/s)", "latency (s)"});
+  std::vector<double> latencies, throughputs, loads{0.25, 0.5, 0.75, 0.9, 1.0};
+  for (const double load : loads) {
+    sim::SimOptions opt;
+    opt.input_period = t_max / load;
+    const auto r = sim::SimRunner(spec, machine, opt).run();
+    throughputs.push_back(r.measured_throughput);
+    latencies.push_back(r.measured_latency);
+    table.add_row({TableCell(load, 2), TableCell(r.measured_throughput, 3),
+                   TableCell(r.measured_latency, 4)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i + 1 < loads.size(); ++i) {
+    all_ok &= shape_check(
+        "throughput tracks offered load at " + std::to_string(loads[i]),
+        std::abs(throughputs[i] - loads[i] / t_max) < 0.02 * loads[i] / t_max);
+  }
+  // Latency stays within a few percent of its floor below saturation.
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    all_ok &= shape_check("latency flat below/at saturation (load " +
+                              std::to_string(loads[i]) + ")",
+                          latencies[i] < 1.05 * latencies[0]);
+  }
+
+  std::printf("Load-sweep shape checks: %s\n", all_ok ? "ALL PASS" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

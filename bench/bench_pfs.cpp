@@ -1,0 +1,125 @@
+// google-benchmark measurements of the real (functional) striped file
+// system: read bandwidth vs stripe factor under a per-server throttle,
+// and the async-prefetch vs synchronous read contrast — the hardware-free
+// analogue of the paper's PFS/PIOFS measurements.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "pfs/striped_file_system.hpp"
+
+namespace {
+
+using namespace pstap;
+namespace fsys = std::filesystem;
+
+struct TempMount {
+  explicit TempMount(pfs::PfsConfig cfg) {
+    static std::atomic<int> counter{0};
+    root = fsys::temp_directory_path() /
+           ("pstap_bench_pfs_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs = std::make_unique<pfs::StripedFileSystem>(root, std::move(cfg));
+  }
+  ~TempMount() {
+    fs.reset();
+    std::error_code ec;
+    fsys::remove_all(root, ec);
+  }
+  fsys::path root;
+  std::unique_ptr<pfs::StripedFileSystem> fs;
+};
+
+std::vector<std::byte> payload(std::size_t n) {
+  Rng rng(1);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next_u64());
+  return v;
+}
+
+/// Throttled read: stripe factor sweep. Each server limited to 32 MiB/s so
+/// striping parallelism, not the host disk, dominates.
+void BM_ThrottledReadVsStripeFactor(benchmark::State& state) {
+  pfs::PfsConfig cfg = pfs::paragon_pfs(static_cast<std::size_t>(state.range(0)));
+  cfg.stripe_unit = 64 * KiB;
+  cfg.server_bandwidth = 32.0 * MiB;
+  TempMount mount(std::move(cfg));
+  const std::size_t bytes = 2 * MiB;
+  mount.fs->write_file("cpi", payload(bytes));
+  pfs::StripedFile f = mount.fs->open("cpi");
+  std::vector<std::byte> buf(bytes);
+  for (auto _ : state) {
+    f.read(0, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ThrottledReadVsStripeFactor)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Unthrottled read bandwidth (host-disk bound) for reference.
+void BM_UnthrottledRead(benchmark::State& state) {
+  TempMount mount(pfs::paragon_pfs(8));
+  const std::size_t bytes = 4 * MiB;
+  mount.fs->write_file("cpi", payload(bytes));
+  pfs::StripedFile f = mount.fs->open("cpi");
+  std::vector<std::byte> buf(bytes);
+  for (auto _ : state) {
+    f.read(0, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_UnthrottledRead)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Async prefetch vs synchronous reads with simulated compute between
+/// CPIs: async hides the throttled read behind the "compute".
+void BM_PrefetchOverlap(benchmark::State& state) {
+  const bool async = state.range(0) != 0;
+  pfs::PfsConfig cfg = pfs::paragon_pfs(4);
+  cfg.server_bandwidth = 64.0 * MiB;
+  cfg.supports_async = async;
+  TempMount mount(std::move(cfg));
+  const std::size_t bytes = 1 * MiB;
+  mount.fs->write_file("cpi", payload(bytes));
+  pfs::StripedFile f = mount.fs->open("cpi");
+  std::array<std::vector<std::byte>, 2> bufs{std::vector<std::byte>(bytes),
+                                             std::vector<std::byte>(bytes)};
+  // Fake compute: ~the read service time, so overlap can halve the loop.
+  const auto compute = [] {
+    volatile double x = 0;
+    for (int i = 0; i < 400000; ++i) x = x + 1.0;
+    benchmark::DoNotOptimize(x);
+  };
+  int k = 0;
+  pfs::IoRequest pending = f.iread(0, bufs[0]);
+  for (auto _ : state) {
+    pending.wait();
+    const int cur = k & 1;
+    pending = f.iread(0, bufs[1 - cur]);  // prefetch next (inline when sync)
+    compute();
+    benchmark::DoNotOptimize(bufs[static_cast<std::size_t>(cur)].data());
+    ++k;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PrefetchOverlap)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"async"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

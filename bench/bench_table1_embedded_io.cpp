@@ -1,0 +1,78 @@
+// Reproduces Table 1: performance of the parallel pipeline STAP system
+// with I/O embedded in the Doppler filter processing task, on three
+// parallel file systems x three node cases. Per-task receive / compute /
+// send times plus throughput and latency.
+//
+// Shape targets from the paper:
+//   * Paragon PFS sf=16: throughput scales 25 -> 50 but stalls at 100
+//     (the I/O bottleneck inflates the Doppler receive phase);
+//   * Paragon PFS sf=64: throughput and latency keep scaling;
+//   * SP PIOFS (no async reads): weaker scaling despite faster CPUs;
+//   * latency scales in every configuration (barely affected by the
+//     bottleneck).
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.hpp"
+
+using namespace pstap;
+using namespace pstap::bench;
+
+int main() {
+  std::printf("== Table 1: I/O embedded in the Doppler filter processing task ==\n\n");
+
+  bool all_ok = true;
+  for (const auto& machine : paper_machines()) {
+    std::vector<double> throughput, latency;
+    for (std::size_t case_idx = 0; case_idx < node_cases().size(); ++case_idx) {
+      const int total = node_cases()[case_idx];
+      const auto spec = embedded_spec(total);
+      const auto result = sim::SimRunner(spec, machine).run();
+      throughput.push_back(result.measured_throughput);
+      latency.push_back(result.measured_latency);
+
+      TablePrinter table(machine.name + " — case " + std::to_string(case_idx + 1) +
+                         ": total number of nodes = " + std::to_string(total));
+      table.set_header({"task", "nodes", "receive", "compute", "send", "total"});
+      print_case_block(table, spec, result);
+      table.print(std::cout);
+      std::printf("\n");
+    }
+
+    const bool paragon = machine.async_io;
+    if (paragon && machine.stripe_factor <= 16) {
+      all_ok &= shape_check(machine.name + ": throughput scales 25->50",
+                            throughput[1] > 1.6 * throughput[0]);
+      all_ok &= shape_check(machine.name + ": throughput stalls at 100 (I/O bound)",
+                            throughput[2] < 1.5 * throughput[1]);
+    } else if (paragon) {
+      all_ok &= shape_check(machine.name + ": throughput scales linearly to 100",
+                            throughput[2] > 1.7 * throughput[1] &&
+                                throughput[1] > 1.7 * throughput[0]);
+    }
+    all_ok &= shape_check(machine.name + ": latency improves with node count",
+                          latency[2] < latency[1] && latency[1] < latency[0]);
+  }
+
+  // Cross-machine claims.
+  const auto sf16 = sim::paragon_like(16);
+  const auto sf64 = sim::paragon_like(64);
+  const auto sp = sim::sp_like(80);
+  const double t16 =
+      sim::SimRunner(embedded_spec(100), sf16).run().measured_throughput;
+  const double t64 =
+      sim::SimRunner(embedded_spec(100), sf64).run().measured_throughput;
+  all_ok &= shape_check("sf=64 relieves the 100-node I/O bottleneck vs sf=16",
+                        t64 > 1.2 * t16);
+  const double sp_scale =
+      sim::SimRunner(embedded_spec(100), sp).run().measured_throughput /
+      sim::SimRunner(embedded_spec(25), sp).run().measured_throughput;
+  const double pg_scale = t64 / sim::SimRunner(embedded_spec(25), sf64)
+                                    .run()
+                                    .measured_throughput;
+  all_ok &= shape_check("SP (sync-only PIOFS) scales worse than Paragon sf=64",
+                        pg_scale > 1.2 * sp_scale);
+
+  std::printf("\nTable 1 shape checks: %s\n", all_ok ? "ALL PASS" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Reproduces Table 2: performance with the I/O implemented as a separate
+// parallel-read task prepended to the pipeline (8 tasks). Compared with
+// Table 1 (embedded I/O), the paper finds approximately equal throughput
+// but strictly worse latency — the latency equation gains one term
+// (paper eq. 4 vs eq. 2).
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.hpp"
+
+using namespace pstap;
+using namespace pstap::bench;
+
+int main() {
+  std::printf("== Table 2: I/O implemented as a separate task ==\n\n");
+
+  bool all_ok = true;
+  for (const auto& machine : paper_machines()) {
+    std::vector<double> throughput, latency;
+    std::vector<double> embedded_throughput, embedded_latency;
+    for (std::size_t case_idx = 0; case_idx < node_cases().size(); ++case_idx) {
+      const int total = node_cases()[case_idx];
+      const auto spec = separate_spec(total);
+      const auto result = sim::SimRunner(spec, machine).run();
+      throughput.push_back(result.measured_throughput);
+      latency.push_back(result.measured_latency);
+
+      const auto embedded = sim::SimRunner(embedded_spec(total), machine).run();
+      embedded_throughput.push_back(embedded.measured_throughput);
+      embedded_latency.push_back(embedded.measured_latency);
+
+      TablePrinter table(machine.name + " — case " + std::to_string(case_idx + 1) +
+                         ": total number of nodes = " +
+                         std::to_string(spec.total_nodes()) + " (incl. " +
+                         std::to_string(spec.tasks.front().nodes) + " I/O nodes)");
+      table.set_header({"task", "nodes", "receive", "compute", "send", "total"});
+      print_case_block(table, spec, result);
+      table.print(std::cout);
+      std::printf("\n");
+    }
+
+    for (std::size_t i = 0; i < node_cases().size(); ++i) {
+      const std::string c = "case " + std::to_string(i + 1);
+      all_ok &= shape_check(
+          machine.name + " " + c + ": throughput ~= embedded design",
+          throughput[i] > 0.85 * embedded_throughput[i] &&
+              throughput[i] < 1.15 * embedded_throughput[i]);
+      all_ok &= shape_check(machine.name + " " + c + ": latency worse than embedded",
+                            latency[i] > embedded_latency[i]);
+    }
+  }
+
+  std::printf("\nTable 2 shape checks: %s\n", all_ok ? "ALL PASS" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table 3: pulse compression and CFAR combined into one task
+// (6-task pipeline, embedded I/O), with the merged task receiving exactly
+// the sum of the two original tasks' nodes — the paper's fair-comparison
+// rule. Expected shape: latency improves in every cell versus Table 1;
+// throughput is unchanged (the bottleneck task is elsewhere).
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.hpp"
+
+using namespace pstap;
+using namespace pstap::bench;
+
+int main() {
+  std::printf(
+      "== Table 3: pulse compression and CFAR tasks combined (PC + CFAR) ==\n\n");
+
+  bool all_ok = true;
+  for (const auto& machine : paper_machines()) {
+    for (std::size_t case_idx = 0; case_idx < node_cases().size(); ++case_idx) {
+      const int total = node_cases()[case_idx];
+      const auto spec = combined_spec(total);
+      const auto result = sim::SimRunner(spec, machine).run();
+      const auto split = sim::SimRunner(embedded_spec(total), machine).run();
+
+      TablePrinter table(machine.name + " — case " + std::to_string(case_idx + 1) +
+                         ": total number of nodes = " + std::to_string(total));
+      table.set_header({"task", "nodes", "receive", "compute", "send", "total"});
+      print_case_block(table, spec, result);
+      table.print(std::cout);
+      std::printf("\n");
+
+      const std::string label =
+          machine.name + " case " + std::to_string(case_idx + 1);
+      all_ok &= shape_check(label + ": latency(6 tasks) < latency(7 tasks)",
+                            result.measured_latency < split.measured_latency);
+      all_ok &= shape_check(
+          label + ": throughput unchanged by combining",
+          result.measured_throughput > 0.98 * split.measured_throughput);
+    }
+  }
+
+  std::printf("\nTable 3 shape checks: %s\n", all_ok ? "ALL PASS" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// ASCII bar charts for the figure-reproduction benches: each paper figure
+// is a grouped bar chart of throughput and latency per node case per file
+// system; we emit the same series as labelled horizontal bars.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pstap::bench {
+
+struct BarSeries {
+  std::string title;   ///< e.g. "throughput (CPI/s) — paragon-pfs16"
+  std::string unit;
+  std::vector<std::pair<std::string, double>> bars;  ///< label -> value
+};
+
+inline void print_bars(const BarSeries& series, int width = 48) {
+  std::printf("%s\n", series.title.c_str());
+  double max_v = 1e-300;
+  for (const auto& [label, v] : series.bars) max_v = std::max(max_v, v);
+  for (const auto& [label, v] : series.bars) {
+    const int n = static_cast<int>(width * v / max_v + 0.5);
+    std::printf("  %-10s |%-*s| %.4g %s\n", label.c_str(), width,
+                std::string(static_cast<std::size_t>(std::max(n, 0)), '#').c_str(), v,
+                series.unit.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace pstap::bench

@@ -1,0 +1,88 @@
+// Shared configuration of the reproduced experiments.
+//
+// The paper's evaluation grid: three parallel file systems (Paragon PFS
+// with stripe factors 16 and 64, SP PIOFS with 80 slices) x three node
+// cases (each doubling the previous). Node assignments follow the
+// workload-proportional scheme; the separate-I/O design adds dedicated
+// read nodes, and the task-combination design gives the merged PC+CFAR
+// task exactly the sum of the split tasks' nodes (the paper's "fair
+// comparison" rule). EXPERIMENTS.md documents the reconstructed values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "pipeline/task_spec.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_runner.hpp"
+
+namespace pstap::bench {
+
+/// The paper's radar parameters (reconstructed; see DESIGN.md §3).
+inline stap::RadarParams paper_params() { return stap::RadarParams{}; }
+
+/// Node cases: "three cases ... each doubles the number of nodes".
+inline const std::vector<int>& node_cases() {
+  static const std::vector<int> cases{25, 50, 100};
+  return cases;
+}
+
+/// Dedicated I/O-task nodes per case (separate-I/O design): enough link
+/// bandwidth to read + forward one CPI per pipeline period.
+inline int io_nodes_for_case(int total) { return std::max(4, total / 6); }
+
+/// The three file systems of the evaluation.
+inline std::vector<sim::MachineModel> paper_machines() {
+  return {sim::paragon_like(16), sim::paragon_like(64), sim::sp_like(80)};
+}
+
+/// Embedded-I/O spec for a node case.
+inline pipeline::PipelineSpec embedded_spec(int total) {
+  return pipeline::proportional_assignment(paper_params(), total,
+                                           pipeline::IoStrategy::kEmbedded, false);
+}
+
+/// Separate-I/O spec: same compute assignment plus read nodes.
+inline pipeline::PipelineSpec separate_spec(int total) {
+  return pipeline::proportional_assignment(paper_params(), total,
+                                           pipeline::IoStrategy::kSeparateTask, false,
+                                           io_nodes_for_case(total));
+}
+
+/// Task-combination spec: embedded assignment with the last two tasks
+/// merged at the sum of their node counts (total conserved).
+inline pipeline::PipelineSpec combined_spec(int total) {
+  const auto split = embedded_spec(total);
+  std::vector<int> nodes;
+  for (std::size_t i = 0; i + 2 < split.tasks.size(); ++i) {
+    nodes.push_back(split.tasks[i].nodes);
+  }
+  nodes.push_back(split.tasks[split.tasks.size() - 2].nodes +
+                  split.tasks.back().nodes);
+  return pipeline::PipelineSpec::combined(paper_params(), nodes);
+}
+
+/// Render one simulated configuration as a paper-style table block.
+inline void print_case_block(TablePrinter& table, const pipeline::PipelineSpec& spec,
+                             const sim::SimResult& result) {
+  for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+    const auto& c = result.costs[i];
+    table.add_row({pipeline::task_name(c.kind), c.nodes, TableCell(c.receive, 4),
+                   TableCell(c.compute, 4), TableCell(c.send, 4),
+                   TableCell(c.total(), 4)});
+  }
+  table.add_row({"throughput (CPI/s)", "", "", "", "",
+                 TableCell(result.measured_throughput, 3)});
+  table.add_row({"latency (s)", "", "", "", "", TableCell(result.measured_latency, 4)});
+  table.add_separator();
+}
+
+/// Uniform shape-check reporting: prints PASS/FAIL and returns ok.
+inline bool shape_check(const std::string& label, bool ok) {
+  std::printf("[shape-check] %-68s %s\n", label.c_str(), ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+}  // namespace pstap::bench

@@ -1,0 +1,89 @@
+// io_strategy_explorer: which I/O strategy should you deploy?
+//
+// Sweeps the simulator over machines (stripe factors, async vs sync reads)
+// x node counts x the three pipeline organizations, and prints, for each
+// machine/node-count cell, the throughput/latency of every strategy and
+// which one wins — the decision the paper's evaluation supports.
+//
+//   ./build/examples/io_strategy_explorer [total_nodes...]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/sim_runner.hpp"
+
+using namespace pstap;
+
+namespace {
+
+struct StrategyResult {
+  const char* name;
+  double throughput;
+  double latency;
+};
+
+std::vector<StrategyResult> evaluate(const stap::RadarParams& params, int total,
+                                     const sim::MachineModel& machine) {
+  using pipeline::IoStrategy;
+  const auto embedded =
+      pipeline::proportional_assignment(params, total, IoStrategy::kEmbedded, false);
+  const auto separate = pipeline::proportional_assignment(
+      params, total, IoStrategy::kSeparateTask, false, std::max(4, total / 6));
+  // Task combination applied on top of the embedded design.
+  std::vector<int> merged_nodes;
+  for (std::size_t i = 0; i + 2 < embedded.tasks.size(); ++i)
+    merged_nodes.push_back(embedded.tasks[i].nodes);
+  merged_nodes.push_back(embedded.tasks[embedded.tasks.size() - 2].nodes +
+                         embedded.tasks.back().nodes);
+  const auto combined = pipeline::PipelineSpec::combined(params, merged_nodes);
+
+  std::vector<StrategyResult> out;
+  for (const auto& [name, spec] :
+       std::initializer_list<std::pair<const char*, const pipeline::PipelineSpec*>>{
+           {"embedded I/O (7 tasks)", &embedded},
+           {"separate I/O task (8)", &separate},
+           {"embedded + PC/CFAR merge", &combined}}) {
+    const auto r = sim::SimRunner(*spec, machine).run();
+    out.push_back({name, r.measured_throughput, r.measured_latency});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto params = stap::RadarParams{};
+  std::vector<int> totals;
+  for (int i = 1; i < argc; ++i) totals.push_back(std::atoi(argv[i]));
+  if (totals.empty()) totals = {25, 50, 100};
+
+  for (const auto& machine :
+       {sim::paragon_like(16), sim::paragon_like(64), sim::sp_like(80)}) {
+    TablePrinter table("machine: " + machine.name +
+                       (machine.async_io ? "  (async reads)" : "  (sync-only reads)"));
+    table.set_header({"nodes", "strategy", "throughput (CPI/s)", "latency (s)",
+                      "best latency?"});
+    for (const int total : totals) {
+      const auto results = evaluate(params, total, machine);
+      double best = 1e300;
+      for (const auto& r : results) best = std::min(best, r.latency);
+      for (const auto& r : results) {
+        table.add_row({total, r.name, TableCell(r.throughput, 2),
+                       TableCell(r.latency, 4), r.latency == best ? "  <== " : ""});
+      }
+      table.add_separator();
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "reading the tables: the separate I/O task never wins on latency (one\n"
+      "extra pipeline term, paper eq. 4); merging PC+CFAR always helps\n"
+      "latency without hurting throughput (paper §6); small stripe factors\n"
+      "cap throughput at high node counts; sync-only reads (PIOFS) blunt\n"
+      "the scaling that faster CPUs should buy.\n");
+  return 0;
+}

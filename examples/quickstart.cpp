@@ -1,0 +1,72 @@
+// Quickstart: the pstap library in ~60 lines.
+//
+// Builds a synthetic radar scene with two injected targets, runs the full
+// PRI-staggered post-Doppler STAP chain on a single node (Doppler filter ->
+// adaptive weights -> beamforming -> pulse compression -> CFAR), and
+// prints the detection reports. The parallel pipeline and I/O machinery
+// build on exactly these kernels — see the other examples.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "stap/beamform.hpp"
+#include "stap/cfar.hpp"
+#include "stap/doppler.hpp"
+#include "stap/pulse_compress.hpp"
+#include "stap/scene.hpp"
+#include "stap/weights.hpp"
+
+using namespace pstap::stap;
+
+int main() {
+  // 1. Radar parameters: a small configuration (4 channels, 17 pulses,
+  //    128 range gates) that runs instantly anywhere.
+  const RadarParams params = RadarParams::test_small();
+
+  // 2. A scene: clutter ridge at 40 dB CNR plus two targets — one in the
+  //    "easy" Doppler region, one buried near the clutter ridge ("hard").
+  SceneConfig scene;
+  scene.cnr_db = 40.0;
+  scene.targets = {
+      {/*range=*/40, /*doppler_bin=*/8.0, /*angle=*/0.0, /*snr_db=*/18.0},
+      {/*range=*/90, /*doppler_bin=*/1.0, /*angle=*/-0.35, /*snr_db=*/25.0},
+  };
+  const SceneGenerator radar(params, scene, /*seed=*/42);
+
+  // 3. Doppler-filter two consecutive CPIs: weights train on the previous
+  //    CPI (the pipeline's temporal dependency), detection runs on the
+  //    current one.
+  const DopplerFilter doppler(params);
+  const DopplerOutput previous = doppler.process(radar.generate(0));
+  const DopplerOutput current = doppler.process(radar.generate(1));
+
+  // 4. Adaptive weights: easy bins use `channels` DOF, hard bins (around
+  //    the clutter ridge) use both PRI staggers = 2x DOF.
+  const WeightComputer wc_easy(params, previous.easy_bin_ids, params.easy_dof());
+  const WeightComputer wc_hard(params, previous.hard_bin_ids, params.hard_dof());
+  const WeightSet w_easy = wc_easy.compute(previous.easy);
+  const WeightSet w_hard = wc_hard.compute(previous.hard);
+
+  // 5. Beamform, pulse-compress, CFAR-detect.
+  const Beamformer beamformer(params);
+  BeamArray y_easy = beamformer.apply(current.easy, w_easy);
+  BeamArray y_hard = beamformer.apply(current.hard, w_hard);
+  const PulseCompressor compressor(params);
+  compressor.compress(y_easy);
+  compressor.compress(y_hard);
+  const CfarDetector cfar(params);
+  auto detections = cfar.detect(y_easy, current.easy_bin_ids);
+  const auto hard_hits = cfar.detect(y_hard, current.hard_bin_ids);
+  detections.insert(detections.end(), hard_hits.begin(), hard_hits.end());
+
+  // 6. Report.
+  std::printf("injected targets: (range 40, bin 8) and (range 90, bin 1)\n");
+  std::printf("%zu detections:\n", detections.size());
+  for (const Detection& d : detections) {
+    std::printf("  range %4u  doppler bin %3u  beam %u  power %9.2f  "
+                "threshold %9.2f\n",
+                d.range, d.bin, d.beam, static_cast<double>(d.power),
+                static_cast<double>(d.threshold));
+  }
+  return detections.empty() ? 1 : 0;
+}

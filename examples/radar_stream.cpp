@@ -1,0 +1,68 @@
+// radar_stream: the paper's operating scenario end to end.
+//
+// A radar writes CPI data cubes into four files round-robin on a striped
+// parallel file system; the parallel pipelined STAP system (here: the
+// functional thread-rank backend with I/O embedded in the Doppler task)
+// consumes them, trains its adaptive weights on each previous CPI, and
+// emits detection reports. The scene contains a moving target — watch its
+// range gate drift across CPIs in the report track.
+//
+//   ./build/examples/radar_stream
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "pipeline/thread_runner.hpp"
+
+using namespace pstap;
+namespace fsys = std::filesystem;
+
+int main() {
+  const auto params = stap::RadarParams::test_small();
+
+  // Scene: one slow inbound target (drifts 4 range gates per CPI) plus a
+  // stationary one sitting inside the clutter-ridge Doppler region.
+  pipeline::RunOptions options;
+  options.cpis = 8;
+  options.warmup = 1;
+  options.seed = 7;
+  options.scene.cnr_db = 40.0;
+  // Keep targets outside the covariance training gates (0..31): a target
+  // inside the training window at a fixed angle/Doppler would be adaptively
+  // self-nulled — a real STAP effect worth knowing about.
+  options.scene.targets = {
+      {/*range=*/40, /*bin=*/8.0, /*angle=*/0.0, /*snr=*/20.0, /*rate=*/4.0},
+      {/*range=*/90, /*bin=*/1.0, /*angle=*/-0.35, /*snr=*/25.0, /*rate=*/0.0},
+  };
+  options.fs_root = fsys::temp_directory_path() /
+                    ("pstap_radar_stream_" + std::to_string(::getpid()));
+  options.fs_config = pfs::paragon_pfs(4);  // 4 stripe directories, async reads
+
+  // The pipeline: embedded I/O, 7 tasks, 8 thread-nodes.
+  const auto spec = pipeline::PipelineSpec::embedded_io(params, {2, 1, 1, 1, 1, 1, 1});
+  pipeline::ThreadRunner runner(spec, options);
+  const pipeline::RunResult result = runner.run();
+
+  // Print the per-CPI detection track. The radar writes 4 files round-robin,
+  // so the moving target's range advances 4 gates per file rotation.
+  std::printf("detections per CPI (moving target drifts +4 gates/CPI over the\n"
+              "4-file rotation; CPI 0 uses conventional weights):\n\n");
+  std::map<std::uint64_t, std::vector<stap::Detection>> per_cpi;
+  for (const auto& d : result.detections) per_cpi[d.cpi].push_back(d);
+  for (const auto& [cpi, dets] : per_cpi) {
+    std::printf("CPI %llu:", static_cast<unsigned long long>(cpi));
+    for (const auto& d : dets) {
+      std::printf("  (r%u,b%u)", d.range, d.bin);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nmeasured pipeline rates on this host (functional backend):\n");
+  std::printf("  throughput %.1f CPI/s, latency %.4f s over %d timed CPIs\n",
+              result.metrics.throughput(), result.metrics.latency(),
+              result.timed_cpis);
+
+  std::error_code ec;
+  fsys::remove_all(options.fs_root, ec);
+  return result.detections.empty() ? 1 : 0;
+}

@@ -1,0 +1,82 @@
+// task_fusion_study: the paper's §6 algebra, numerically.
+//
+// For a chosen configuration this example prints every term of the
+// task-combination analysis (paper eqs. 6-11): the split tasks' phase
+// times T5, T6; the merged task's T_{5+6}; the work-pooling term (eq. 9),
+// the communication saving (eq. 10); and verifies the conclusions
+// T_{5+6} < T5 + T6 (eq. 11), latency_6 < latency_7 (eq. 12) and
+// throughput_6 >= throughput_7 (eq. 14) on the simulator.
+//
+//   ./build/examples/task_fusion_study [total_nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/sim_runner.hpp"
+
+using namespace pstap;
+
+int main(int argc, char** argv) {
+  const int total = argc > 1 ? std::atoi(argv[1]) : 50;
+  const auto params = stap::RadarParams{};
+  const auto machine = sim::paragon_like(64);
+
+  const auto split = pipeline::proportional_assignment(
+      params, total, pipeline::IoStrategy::kEmbedded, false);
+  std::vector<int> merged_nodes;
+  for (std::size_t i = 0; i + 2 < split.tasks.size(); ++i)
+    merged_nodes.push_back(split.tasks[i].nodes);
+  const int p5 = split.tasks[split.tasks.size() - 2].nodes;
+  const int p6 = split.tasks.back().nodes;
+  merged_nodes.push_back(p5 + p6);
+  const auto merged = pipeline::PipelineSpec::combined(params, merged_nodes);
+
+  const sim::CostModel cm_split(split, machine);
+  const sim::CostModel cm_merged(merged, machine);
+  const auto c5 = cm_split.cost(split.tasks.size() - 2);   // pulse compression
+  const auto c6 = cm_split.cost(split.tasks.size() - 1);   // CFAR
+  const auto c56 = cm_merged.cost(merged.tasks.size() - 1);  // PC + CFAR
+
+  std::printf("== task combination study: %d total nodes on %s ==\n\n", total,
+              machine.name.c_str());
+  std::printf("pulse compression: P5=%d   T5 = %.4fs (recv %.4f, comp %.4f, send %.4f)\n",
+              p5, c5.total(), c5.receive, c5.compute, c5.send);
+  std::printf("CFAR processing:   P6=%d   T6 = %.4fs (recv %.4f, comp %.4f, send %.4f)\n",
+              p6, c6.total(), c6.receive, c6.compute, c6.send);
+  std::printf("merged PC+CFAR:    P=%d    T5+6 = %.4fs (recv %.4f, comp %.4f, send %.4f)\n\n",
+              p5 + p6, c56.total(), c56.receive, c56.compute, c56.send);
+
+  // Paper eq. 9: pooling the nodes shrinks the combined work term.
+  const double work_split = c5.compute + c6.compute;
+  const double work_merged = c56.compute;
+  std::printf("work term   (eq. 9):  comp5 + comp6 = %.4fs  vs  merged comp = %.4fs"
+              "  (saving %.4fs)\n",
+              work_split, work_merged, work_split - work_merged);
+  // Paper eq. 10: the PC->CFAR transfer disappears.
+  const double comm_split = c5.receive + c5.send + c6.receive + c6.send;
+  const double comm_merged = c56.receive + c56.send;
+  std::printf("comm term   (eq. 10): C5 + C6 = %.4fs  vs  C5+6 = %.4fs"
+              "  (saving %.4fs)\n",
+              comm_split, comm_merged, comm_split - comm_merged);
+  std::printf("conclusion  (eq. 11): T5+6 = %.4fs %s T5 + T6 = %.4fs\n\n",
+              c56.total(), c56.total() < c5.total() + c6.total() ? "<" : ">=",
+              c5.total() + c6.total());
+
+  // End-to-end verification on the simulator.
+  const auto r7 = sim::SimRunner(split, machine).run();
+  const auto r6 = sim::SimRunner(merged, machine).run();
+  std::printf("simulated 7-task pipeline:  throughput %.3f CPI/s, latency %.4fs\n",
+              r7.measured_throughput, r7.measured_latency);
+  std::printf("simulated 6-task pipeline:  throughput %.3f CPI/s, latency %.4fs\n",
+              r6.measured_throughput, r6.measured_latency);
+  std::printf("latency improvement: %.1f%%   throughput change: %+.1f%%\n",
+              100.0 * (r7.measured_latency - r6.measured_latency) /
+                  r7.measured_latency,
+              100.0 * (r6.measured_throughput - r7.measured_throughput) /
+                  r7.measured_throughput);
+
+  const bool ok = c56.total() < c5.total() + c6.total() &&
+                  r6.measured_latency < r7.measured_latency &&
+                  r6.measured_throughput >= 0.98 * r7.measured_throughput;
+  std::printf("\npaper's §6 conclusions hold here: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+#include "common/error.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace pstap::detail {
+
+namespace {
+std::string location_prefix(const char* file, int line) {
+  std::ostringstream os;
+  const char* base = std::strrchr(file, '/');
+  os << (base != nullptr ? base + 1 : file) << ':' << line << ": ";
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  std::ostringstream os;
+  os << location_prefix(file, line) << "precondition failed: (" << expr << ") — "
+     << msg;
+  throw PreconditionError(os.str());
+}
+
+void throw_runtime(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << location_prefix(file, line) << "invariant violated: " << msg;
+  throw RuntimeError(os.str());
+}
+
+void throw_io(const char* file, int line, const std::string& msg, int errno_value) {
+  std::ostringstream os;
+  os << location_prefix(file, line) << "I/O error: " << msg;
+  if (errno_value != 0) {
+    os << " (errno " << errno_value << ": " << std::strerror(errno_value) << ')';
+  }
+  throw IoError(os.str());
+}
+
+}  // namespace pstap::detail

@@ -1,0 +1,67 @@
+// Error handling primitives shared by every pstap module.
+//
+// The library distinguishes two failure classes:
+//   * programming errors (precondition violations) -> PSTAP_REQUIRE, which
+//     throws pstap::PreconditionError so tests can assert on misuse;
+//   * environmental errors (I/O failures, resource exhaustion) ->
+//     pstap::IoError / pstap::RuntimeError.
+//
+// Following the C++ Core Guidelines (E.2, I.5) we prefer exceptions carrying
+// a formatted message over error codes for these non-hot-path failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pstap {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an operating-system-level I/O operation fails.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown for internal invariant violations that are not caller misuse.
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+[[noreturn]] void throw_runtime(const char* file, int line, const std::string& msg);
+[[noreturn]] void throw_io(const char* file, int line, const std::string& msg,
+                           int errno_value);
+}  // namespace detail
+
+}  // namespace pstap
+
+/// Validate a documented precondition of a public entry point.
+#define PSTAP_REQUIRE(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::pstap::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                         \
+  } while (false)
+
+/// Signal an internal invariant violation with context.
+#define PSTAP_FAIL(msg) ::pstap::detail::throw_runtime(__FILE__, __LINE__, (msg))
+
+/// Check an internal invariant (not caller misuse).
+#define PSTAP_CHECK(expr, msg)                                 \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::pstap::detail::throw_runtime(__FILE__, __LINE__, (msg)); \
+    }                                                          \
+  } while (false)
+
+/// Raise an IoError annotated with errno.
+#define PSTAP_IO_FAIL(msg, errno_value) \
+  ::pstap::detail::throw_io(__FILE__, __LINE__, (msg), (errno_value))

@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pstap {
+
+std::string TableCell::render() const {
+  if (std::holds_alternative<std::string>(value)) {
+    return std::get<std::string>(value);
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << std::get<double>(value);
+  return os.str();
+}
+
+namespace {
+void print_rule(std::ostream& os, const std::vector<std::size_t>& widths) {
+  os << '+';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+  os << '\n';
+}
+
+void print_row(std::ostream& os, const std::vector<std::string>& cells,
+               const std::vector<std::size_t>& widths) {
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string text = c < cells.size() ? cells[c] : std::string{};
+    os << ' ' << std::setw(static_cast<int>(widths[c])) << std::right << text << " |";
+  }
+  os << '\n';
+}
+}  // namespace
+
+void TablePrinter::print(std::ostream& os) const {
+  // Render every cell up front so widths can be computed.
+  std::vector<std::string> header_text;
+  header_text.reserve(header_.size());
+  for (const auto& c : header_) header_text.push_back(c.render());
+
+  std::vector<std::vector<std::string>> row_text;
+  row_text.reserve(rows_.size());
+  std::size_t ncols = header_text.size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& c : row) cells.push_back(c.render());
+    ncols = std::max(ncols, cells.size());
+    row_text.push_back(std::move(cells));
+  }
+
+  std::vector<std::size_t> widths(ncols, 1);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      widths[c] = std::max(widths[c], cells[c].size());
+  };
+  widen(header_text);
+  for (const auto& r : row_text) widen(r);
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  print_rule(os, widths);
+  if (!header_text.empty()) {
+    print_row(os, header_text, widths);
+    print_rule(os, widths);
+  }
+  for (std::size_t i = 0; i < row_text.size(); ++i) {
+    if (std::find(separators_.begin(), separators_.end(), i) != separators_.end()) {
+      print_rule(os, widths);
+    }
+    print_row(os, row_text[i], widths);
+  }
+  print_rule(os, widths);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace pstap

@@ -1,0 +1,55 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// The paper reports each experiment as a table of per-task phase timings plus
+// throughput/latency summary rows; TablePrinter renders the same layout to
+// stdout so bench output can be compared side by side with the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pstap {
+
+/// A cell is either text or a number rendered with a fixed precision.
+struct TableCell {
+  std::variant<std::string, double> value;
+  int precision = 4;
+
+  TableCell(const char* s) : value(std::string(s)) {}          // NOLINT(google-explicit-constructor)
+  TableCell(std::string s) : value(std::move(s)) {}            // NOLINT(google-explicit-constructor)
+  TableCell(double v, int prec = 4) : value(v), precision(prec) {}  // NOLINT(google-explicit-constructor)
+  TableCell(int v) : value(static_cast<double>(v)), precision(0) {} // NOLINT(google-explicit-constructor)
+
+  std::string render() const;
+};
+
+/// Accumulates rows and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row (column labels).
+  void set_header(std::vector<TableCell> header) { header_ = std::move(header); }
+
+  /// Append one data row. Rows may be ragged; missing cells render empty.
+  void add_row(std::vector<TableCell> row) { rows_.push_back(std::move(row)); }
+
+  /// Append a horizontal separator line.
+  void add_separator() { separators_.push_back(rows_.size()); }
+
+  /// Render to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<TableCell> header_;
+  std::vector<std::vector<TableCell>> rows_;
+  std::vector<std::size_t> separators_;  // separator before rows_[i]
+};
+
+}  // namespace pstap

@@ -1,0 +1,43 @@
+// Monotonic wall-clock helpers for the functional (thread) backend and for
+// the google-benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace pstap {
+
+/// Seconds since an arbitrary monotonic epoch.
+inline Seconds monotonic_now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Scoped stopwatch accumulating into a Seconds slot.
+///
+///   Seconds t = 0; { StopWatch sw(t); work(); }  // t += elapsed
+class StopWatch {
+ public:
+  explicit StopWatch(Seconds& sink) : sink_(sink), start_(monotonic_now()) {}
+  ~StopWatch() { sink_ += monotonic_now() - start_; }
+  StopWatch(const StopWatch&) = delete;
+  StopWatch& operator=(const StopWatch&) = delete;
+
+ private:
+  Seconds& sink_;
+  Seconds start_;
+};
+
+/// Manual timer with lap support.
+class Timer {
+ public:
+  Timer() : start_(monotonic_now()) {}
+  void reset() { start_ = monotonic_now(); }
+  Seconds elapsed() const { return monotonic_now() - start_; }
+
+ private:
+  Seconds start_;
+};
+
+}  // namespace pstap

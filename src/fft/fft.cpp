@@ -1,0 +1,171 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace pstap::fft {
+
+namespace {
+
+// Twiddle layout: for each stage with half-block size h (1, 2, 4, ... n/2),
+// h twiddles exp(sign * i * pi * j / h), j in [0, h). Total n-1 entries.
+std::vector<cfloat> make_twiddles(std::size_t n, double sign) {
+  std::vector<cfloat> tw;
+  if (n < 2) return tw;
+  tw.reserve(n - 1);
+  for (std::size_t h = 1; h < n; h <<= 1) {
+    for (std::size_t j = 0; j < h; ++j) {
+      const double ang = sign * std::numbers::pi * static_cast<double>(j) /
+                         static_cast<double>(h);
+      tw.emplace_back(static_cast<float>(std::cos(ang)),
+                      static_cast<float>(std::sin(ang)));
+    }
+  }
+  return tw;
+}
+
+std::vector<std::uint32_t> make_bitrev(std::size_t n) {
+  std::vector<std::uint32_t> rev(n, 0);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if ((i >> b) & 1u) r |= std::size_t{1} << (bits - 1 - b);
+    }
+    rev[i] = static_cast<std::uint32_t>(r);
+  }
+  return rev;
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+  PSTAP_REQUIRE(n >= 1, "FFT length must be >= 1");
+  if (pow2_) {
+    bitrev_ = make_bitrev(n_);
+    twiddle_fwd_ = make_twiddles(n_, -1.0);
+    twiddle_inv_ = make_twiddles(n_, +1.0);
+    return;
+  }
+  // Bluestein: x_k * a_k convolved with b_k where a_k = exp(-i pi k^2 / n),
+  // b_k = conj(a_k) extended symmetrically; convolution done at length m.
+  m_ = next_pow2(2 * n_ - 1);
+  helper_ = std::make_unique<FftPlan>(m_);
+  chirp_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    // k^2 mod 2n keeps the angle argument small for numerical accuracy.
+    const std::size_t k2 = (k * k) % (2 * n_);
+    const double ang = std::numbers::pi * static_cast<double>(k2) /
+                       static_cast<double>(n_);
+    chirp_[k] = cfloat(static_cast<float>(std::cos(ang)),
+                       static_cast<float>(-std::sin(ang)));
+  }
+  auto build_kernel = [&](bool forward) {
+    std::vector<cfloat> b(m_, cfloat{0.0f, 0.0f});
+    for (std::size_t k = 0; k < n_; ++k) {
+      const cfloat c = forward ? std::conj(chirp_[k]) : chirp_[k];
+      b[k] = c;
+      if (k != 0) b[m_ - k] = c;
+    }
+    helper_->transform(b, Direction::kForward);
+    return b;
+  };
+  chirp_fft_fwd_ = build_kernel(true);
+  chirp_fft_inv_ = build_kernel(false);
+}
+
+void FftPlan::transform_pow2(std::span<cfloat> data, Direction dir) const {
+  cfloat* x = data.data();
+  const std::size_t n = n_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  const std::vector<cfloat>& tw =
+      dir == Direction::kForward ? twiddle_fwd_ : twiddle_inv_;
+  std::size_t tw_base = 0;
+  for (std::size_t h = 1; h < n; h <<= 1) {
+    for (std::size_t block = 0; block < n; block += 2 * h) {
+      for (std::size_t j = 0; j < h; ++j) {
+        const cfloat w = tw[tw_base + j];
+        cfloat& a = x[block + j];
+        cfloat& b = x[block + j + h];
+        const cfloat t = w * b;
+        b = a - t;
+        a = a + t;
+      }
+    }
+    tw_base += h;
+  }
+  if (dir == Direction::kInverse) {
+    const float inv = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] *= inv;
+  }
+}
+
+void FftPlan::transform_bluestein(std::span<cfloat> data, Direction dir) const {
+  const bool fwd = dir == Direction::kForward;
+  std::vector<cfloat> a(m_, cfloat{0.0f, 0.0f});
+  for (std::size_t k = 0; k < n_; ++k) {
+    const cfloat c = fwd ? chirp_[k] : std::conj(chirp_[k]);
+    a[k] = data[k] * c;
+  }
+  helper_->transform(a, Direction::kForward);
+  const std::vector<cfloat>& kernel = fwd ? chirp_fft_fwd_ : chirp_fft_inv_;
+  for (std::size_t i = 0; i < m_; ++i) a[i] *= kernel[i];
+  helper_->transform(a, Direction::kInverse);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const cfloat c = fwd ? chirp_[k] : std::conj(chirp_[k]);
+    data[k] = a[k] * c;
+  }
+  if (!fwd) {
+    const float inv = 1.0f / static_cast<float>(n_);
+    for (std::size_t k = 0; k < n_; ++k) data[k] *= inv;
+  }
+}
+
+void FftPlan::transform(std::span<cfloat> data, Direction dir) const {
+  PSTAP_REQUIRE(data.size() == n_, "FFT buffer size does not match plan length");
+  if (n_ == 1) return;
+  if (pow2_) {
+    transform_pow2(data, dir);
+  } else {
+    transform_bluestein(data, dir);
+  }
+}
+
+void FftPlan::transform_strided(cfloat* data, std::size_t stride, Direction dir) {
+  PSTAP_REQUIRE(data != nullptr, "null data");
+  PSTAP_REQUIRE(stride >= 1, "stride must be >= 1");
+  if (stride == 1) {
+    transform({data, n_}, dir);
+    return;
+  }
+  scratch_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) scratch_[i] = data[i * stride];
+  transform(scratch_, dir);
+  for (std::size_t i = 0; i < n_; ++i) data[i * stride] = scratch_[i];
+}
+
+void FftPlan::transform_batch(std::span<cfloat> data, std::size_t count,
+                              Direction dir) const {
+  PSTAP_REQUIRE(data.size() == count * n_, "batch buffer size mismatch");
+  for (std::size_t b = 0; b < count; ++b) {
+    transform(data.subspan(b * n_, n_), dir);
+  }
+}
+
+void transform(std::span<cfloat> data, Direction dir) {
+  FftPlan plan(data.size());
+  plan.transform(data, dir);
+}
+
+void multiply_spectra(std::span<cfloat> a, std::span<const cfloat> b) {
+  PSTAP_REQUIRE(a.size() == b.size(), "spectra size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+}
+
+}  // namespace pstap::fft

@@ -1,0 +1,77 @@
+// Complex FFT library built from scratch for the STAP kernels.
+//
+// Provides a planned, reusable transform:
+//   * power-of-two lengths: iterative radix-2 Cooley–Tukey with precomputed
+//     twiddle tables and bit-reversal permutation;
+//   * arbitrary lengths: Bluestein's chirp-z algorithm layered on a
+//     power-of-two plan.
+//
+// Plans are immutable after construction and safe to share across threads
+// for `transform` calls that use caller-provided scratch; the convenience
+// strided/batched entry points keep per-plan scratch and are therefore not
+// thread-safe — each mp rank owns its own plan in the pipeline code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pstap::fft {
+
+/// Transform direction.
+enum class Direction { kForward, kInverse };
+
+/// A planned complex-to-complex FFT of fixed length.
+class FftPlan {
+ public:
+  /// Build a plan for length n (n >= 1). Arbitrary n supported.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// In-place transform of `data` (size() elements).
+  /// Inverse transforms are scaled by 1/N so that inverse(forward(x)) == x.
+  void transform(std::span<cfloat> data, Direction dir) const;
+
+  /// Transform a strided sequence: elements data[0], data[stride], ...
+  /// data[(size()-1)*stride]. Gathers into internal scratch, transforms and
+  /// scatters back. Not thread-safe (uses plan-local scratch).
+  void transform_strided(cfloat* data, std::size_t stride, Direction dir);
+
+  /// Transform `count` contiguous transforms laid out back to back in
+  /// `data` (count * size() elements).
+  void transform_batch(std::span<cfloat> data, std::size_t count, Direction dir) const;
+
+ private:
+  void transform_pow2(std::span<cfloat> data, Direction dir) const;
+  void transform_bluestein(std::span<cfloat> data, Direction dir) const;
+
+  std::size_t n_;
+  bool pow2_;
+
+  // Radix-2 machinery (for pow2_ == true, and inside Bluestein's helper plan).
+  std::vector<std::uint32_t> bitrev_;
+  std::vector<cfloat> twiddle_fwd_;  // per-stage packed twiddles
+  std::vector<cfloat> twiddle_inv_;
+
+  // Bluestein machinery (for pow2_ == false).
+  std::size_t m_ = 0;                    // convolution length (power of two >= 2n-1)
+  std::vector<cfloat> chirp_;            // a_k = exp(-i pi k^2 / n)
+  std::vector<cfloat> chirp_fft_fwd_;    // FFT of zero-padded conjugate chirp
+  std::vector<cfloat> chirp_fft_inv_;
+  std::unique_ptr<FftPlan> helper_;      // pow2 plan of length m_
+
+  std::vector<cfloat> scratch_;          // for transform_strided
+};
+
+/// One-shot convenience transform (plans internally; prefer FftPlan in loops).
+void transform(std::span<cfloat> data, Direction dir);
+
+/// Element-wise spectral multiply: a[i] *= b[i]. Sizes must match.
+void multiply_spectra(std::span<cfloat> a, std::span<const cfloat> b);
+
+}  // namespace pstap::fft

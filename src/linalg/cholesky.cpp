@@ -1,0 +1,62 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace pstap::linalg {
+
+template <typename T>
+bool cholesky_factor(CMatrix<T>& a) {
+  PSTAP_REQUIRE(a.rows() == a.cols(), "cholesky_factor requires a square matrix");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    // Diagonal: d = a(j,j) - sum_k |L(j,k)|^2, must be real positive.
+    T d = a(j, j).real();
+    for (std::size_t k = 0; k < j; ++k) d -= std::norm(a(j, k));
+    if (!(d > T{0}) || !std::isfinite(d)) return false;
+    const T ljj = std::sqrt(d);
+    a(j, j) = {ljj, T{0}};
+    const T inv = T{1} / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      std::complex<T> s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * std::conj(a(j, k));
+      a(i, j) = s * inv;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+void cholesky_solve_inplace(const CMatrix<T>& l, std::span<std::complex<T>> b) {
+  const std::size_t n = l.rows();
+  PSTAP_REQUIRE(b.size() == n, "cholesky_solve_inplace size mismatch");
+  // Forward: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::complex<T> s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * b[k];
+    b[i] = s / l(i, i).real();
+  }
+  // Backward: L^H x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    std::complex<T> s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= std::conj(l(k, ii)) * b[k];
+    b[ii] = s / l(ii, ii).real();
+  }
+}
+
+template <typename T>
+bool solve_hpd(CMatrix<T>& a, std::span<std::complex<T>> b) {
+  if (!cholesky_factor(a)) return false;
+  cholesky_solve_inplace(a, b);
+  return true;
+}
+
+template bool cholesky_factor<float>(CMatrix<float>&);
+template bool cholesky_factor<double>(CMatrix<double>&);
+template void cholesky_solve_inplace<float>(const CMatrix<float>&,
+                                            std::span<std::complex<float>>);
+template void cholesky_solve_inplace<double>(const CMatrix<double>&,
+                                             std::span<std::complex<double>>);
+template bool solve_hpd<float>(CMatrix<float>&, std::span<std::complex<float>>);
+template bool solve_hpd<double>(CMatrix<double>&, std::span<std::complex<double>>);
+
+}  // namespace pstap::linalg

@@ -1,0 +1,42 @@
+// Hermitian positive-definite factorization and solves.
+//
+// The STAP weight computation solves R w = s where R is a (diagonally
+// loaded) sample covariance matrix — Hermitian positive definite by
+// construction — so Cholesky is the canonical solver.
+#pragma once
+
+#include <span>
+
+#include "linalg/cmatrix.hpp"
+
+namespace pstap::linalg {
+
+/// In-place Cholesky factorization A = L L^H (lower triangle).
+///
+/// On return the lower triangle of `a` (including the real diagonal) holds L;
+/// the strict upper triangle is left untouched. Returns false if the matrix
+/// is not (numerically) positive definite.
+template <typename T>
+[[nodiscard]] bool cholesky_factor(CMatrix<T>& a);
+
+/// Solve L y = b then L^H x = y given the factor produced by
+/// cholesky_factor. `b` is overwritten with the solution x.
+template <typename T>
+void cholesky_solve_inplace(const CMatrix<T>& l, std::span<std::complex<T>> b);
+
+/// Convenience: solve A x = b for Hermitian positive definite A.
+/// `a` is factored in place (destroyed); `b` becomes x. Returns false if A
+/// is not positive definite (b is then unspecified).
+template <typename T>
+[[nodiscard]] bool solve_hpd(CMatrix<T>& a, std::span<std::complex<T>> b);
+
+extern template bool cholesky_factor<float>(CMatrix<float>&);
+extern template bool cholesky_factor<double>(CMatrix<double>&);
+extern template void cholesky_solve_inplace<float>(const CMatrix<float>&,
+                                                   std::span<std::complex<float>>);
+extern template void cholesky_solve_inplace<double>(const CMatrix<double>&,
+                                                    std::span<std::complex<double>>);
+extern template bool solve_hpd<float>(CMatrix<float>&, std::span<std::complex<float>>);
+extern template bool solve_hpd<double>(CMatrix<double>&, std::span<std::complex<double>>);
+
+}  // namespace pstap::linalg

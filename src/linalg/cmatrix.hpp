@@ -1,0 +1,122 @@
+// Dense complex matrix storage used by the adaptive-weight kernels.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pstap::linalg {
+
+/// Row-major dense matrix of std::complex<T>.
+///
+/// Deliberately minimal: the STAP weight solver needs storage, element
+/// access, Hermitian rank-1 updates and matrix-vector products — not a full
+/// expression-template library.
+template <typename T>
+class CMatrix {
+ public:
+  using value_type = std::complex<T>;
+
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, value_type{}) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  value_type& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  const value_type& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Span over row r.
+  std::span<value_type> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const value_type> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<value_type> flat() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const value_type> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), value_type{}); }
+
+  /// Set to the identity scaled by `diag` (square matrices only).
+  void set_scaled_identity(value_type diag) {
+    PSTAP_REQUIRE(rows_ == cols_, "identity requires a square matrix");
+    set_zero();
+    for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) = diag;
+  }
+
+  /// Hermitian rank-1 update: A += alpha * x * x^H (square, |x| == rows).
+  void her_update(std::span<const value_type> x, T alpha) {
+    PSTAP_REQUIRE(rows_ == cols_ && x.size() == rows_, "her_update shape mismatch");
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const value_type xi = x[i];
+      value_type* arow = data_.data() + i * cols_;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        arow[j] += alpha * xi * std::conj(x[j]);
+      }
+    }
+  }
+
+  /// y = A * x.
+  void matvec(std::span<const value_type> x, std::span<value_type> y) const {
+    PSTAP_REQUIRE(x.size() == cols_ && y.size() == rows_, "matvec shape mismatch");
+    for (std::size_t i = 0; i < rows_; ++i) {
+      value_type acc{};
+      const value_type* arow = data_.data() + i * cols_;
+      for (std::size_t j = 0; j < cols_; ++j) acc += arow[j] * x[j];
+      y[i] = acc;
+    }
+  }
+
+  /// y = A^H * x.
+  void matvec_herm(std::span<const value_type> x, std::span<value_type> y) const {
+    PSTAP_REQUIRE(x.size() == rows_ && y.size() == cols_, "matvec_herm shape mismatch");
+    std::fill(y.begin(), y.end(), value_type{});
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const value_type xi = x[i];
+      const value_type* arow = data_.data() + i * cols_;
+      for (std::size_t j = 0; j < cols_; ++j) y[j] += std::conj(arow[j]) * xi;
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<value_type> data_;
+};
+
+using CMatF = CMatrix<float>;
+using CMatD = CMatrix<double>;
+
+/// Hermitian inner product <x, y> = x^H y.
+template <typename T>
+std::complex<T> cdot(std::span<const std::complex<T>> x,
+                     std::span<const std::complex<T>> y) {
+  PSTAP_REQUIRE(x.size() == y.size(), "cdot size mismatch");
+  std::complex<T> acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += std::conj(x[i]) * y[i];
+  return acc;
+}
+
+/// Squared 2-norm.
+template <typename T>
+T norm2_sq(std::span<const std::complex<T>> x) {
+  T acc{};
+  for (const auto& v : x) acc += std::norm(v);
+  return acc;
+}
+
+}  // namespace pstap::linalg

@@ -1,0 +1,95 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace pstap::linalg {
+
+template <typename T>
+bool QrFactorization<T>::factor(CMatrix<T> a) {
+  PSTAP_REQUIRE(a.rows() >= a.cols(), "QR requires rows >= cols");
+  a_ = std::move(a);
+  const std::size_t m = a_.rows();
+  const std::size_t n = a_.cols();
+  beta_.assign(n, T{});
+  diag_.assign(n, value_type{});
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Householder vector from the trailing part of column j:
+    // v = x + phase * |x| * e1, H = I - (2 / v^H v) v v^H, H x = -phase|x| e1.
+    T normx_sq{};
+    for (std::size_t i = j; i < m; ++i) normx_sq += std::norm(a_(i, j));
+    const T normx = std::sqrt(normx_sq);
+    if (!(normx > T{0})) return false;  // rank deficient column
+
+    const value_type x0 = a_(j, j);
+    const T absx0 = std::abs(x0);
+    const value_type phase = absx0 > T{0} ? x0 / absx0 : value_type{T{1}, T{0}};
+
+    diag_[j] = -phase * normx;
+    a_(j, j) = x0 + phase * normx;  // v now occupies a_(j.., j)
+    const T vhv = T{2} * (normx_sq + normx * absx0);
+    beta_[j] = T{2} / vhv;
+
+    // Apply H to the trailing columns.
+    for (std::size_t k = j + 1; k < n; ++k) {
+      value_type w{};
+      for (std::size_t i = j; i < m; ++i) w += std::conj(a_(i, j)) * a_(i, k);
+      w *= beta_[j];
+      for (std::size_t i = j; i < m; ++i) a_(i, k) -= w * a_(i, j);
+    }
+  }
+  return true;
+}
+
+template <typename T>
+void QrFactorization<T>::apply_qh(std::span<value_type> b) const {
+  const std::size_t m = a_.rows();
+  const std::size_t n = a_.cols();
+  PSTAP_REQUIRE(b.size() == m, "apply_qh size mismatch");
+  for (std::size_t j = 0; j < n; ++j) {
+    value_type w{};
+    for (std::size_t i = j; i < m; ++i) w += std::conj(a_(i, j)) * b[i];
+    w *= beta_[j];
+    for (std::size_t i = j; i < m; ++i) b[i] -= w * a_(i, j);
+  }
+}
+
+template <typename T>
+void QrFactorization<T>::solve_upper(std::span<value_type> b) const {
+  const std::size_t n = a_.cols();
+  PSTAP_REQUIRE(b.size() >= n, "solve_upper needs at least cols entries");
+  for (std::size_t jj = n; jj-- > 0;) {
+    value_type s = b[jj];
+    for (std::size_t k = jj + 1; k < n; ++k) s -= a_(jj, k) * b[k];
+    b[jj] = s / diag_[jj];
+  }
+}
+
+template <typename T>
+void QrFactorization<T>::solve_upper_herm(std::span<value_type> b) const {
+  const std::size_t n = a_.cols();
+  PSTAP_REQUIRE(b.size() >= n, "solve_upper_herm needs at least cols entries");
+  for (std::size_t i = 0; i < n; ++i) {
+    value_type s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= std::conj(a_(k, i)) * b[k];
+    b[i] = s / std::conj(diag_[i]);
+  }
+}
+
+template <typename T>
+std::vector<typename QrFactorization<T>::value_type> QrFactorization<T>::solve_ls(
+    std::span<const value_type> b) const {
+  const std::size_t m = a_.rows();
+  const std::size_t n = a_.cols();
+  PSTAP_REQUIRE(b.size() == m, "solve_ls size mismatch");
+  std::vector<value_type> y(b.begin(), b.end());
+  apply_qh(y);
+  solve_upper(y);
+  y.resize(n);
+  return y;
+}
+
+template class QrFactorization<float>;
+template class QrFactorization<double>;
+
+}  // namespace pstap::linalg

@@ -1,0 +1,55 @@
+// Householder QR factorization and least-squares solve.
+//
+// Used as the numerically robust alternative weight solver (sample-matrix
+// inversion via QR of the training data, avoiding explicit covariance
+// squaring) and as an independent oracle in the test suite.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/cmatrix.hpp"
+
+namespace pstap::linalg {
+
+/// Compact Householder QR of an m x n matrix (m >= n).
+///
+/// After `factor`, R occupies the upper triangle of the stored matrix and
+/// the Householder vectors its lower part; `apply_qh` applies Q^H to a
+/// vector, `solve_upper` back-substitutes against R.
+template <typename T>
+class QrFactorization {
+ public:
+  using value_type = std::complex<T>;
+
+  /// Factor `a` (consumed by copy). Requires rows >= cols and full column
+  /// rank; returns false when a zero column is encountered.
+  [[nodiscard]] bool factor(CMatrix<T> a);
+
+  std::size_t rows() const noexcept { return a_.rows(); }
+  std::size_t cols() const noexcept { return a_.cols(); }
+
+  /// b (length rows) <- Q^H b.
+  void apply_qh(std::span<value_type> b) const;
+
+  /// Solve R x = b[0..cols); writes x over the first cols entries of b.
+  void solve_upper(std::span<value_type> b) const;
+
+  /// Solve R^H x = b[0..cols) (forward substitution against the factor's
+  /// conjugate transpose). Together with solve_upper this solves the
+  /// normal equations A^H A x = b without ever forming A^H A.
+  void solve_upper_herm(std::span<value_type> b) const;
+
+  /// Least squares: minimize |A x - b|; returns x (length cols).
+  [[nodiscard]] std::vector<value_type> solve_ls(std::span<const value_type> b) const;
+
+ private:
+  CMatrix<T> a_;            // packed R + Householder vectors
+  std::vector<T> beta_;     // Householder scalars
+  std::vector<value_type> diag_;  // diagonal of R (displaced by the v storage)
+};
+
+extern template class QrFactorization<float>;
+extern template class QrFactorization<double>;
+
+}  // namespace pstap::linalg

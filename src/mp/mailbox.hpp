@@ -1,0 +1,97 @@
+// Per-rank mailbox: an unbounded MPSC queue with (source, tag, context)
+// matching. Internal to the mp runtime.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mp/message.hpp"
+
+namespace pstap::mp {
+
+/// One mailbox per world rank. Senders push envelopes; the owning rank
+/// removes the first envelope matching (context, source-or-any, tag-or-any).
+/// Matching preserves per-(source,tag) FIFO order, which is the ordering
+/// guarantee message-passing codes rely on.
+class Mailbox {
+ public:
+  /// Deposit an envelope (called by any sender thread).
+  void push(Envelope env) {
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_back(std::move(env));
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until a matching envelope is available and remove it.
+  Envelope pop_matching(std::uint64_t context, int source, int tag) {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (auto env = try_take(context, source, tag)) return std::move(*env);
+      cv_.wait(lock);
+    }
+  }
+
+  /// Non-blocking variant; std::nullopt if nothing matches now.
+  std::optional<Envelope> try_pop_matching(std::uint64_t context, int source, int tag) {
+    std::lock_guard lock(mu_);
+    return try_take(context, source, tag);
+  }
+
+  /// Probe without removing: returns the payload size of the first matching
+  /// envelope, or std::nullopt.
+  std::optional<std::size_t> probe(std::uint64_t context, int source, int tag) {
+    std::lock_guard lock(mu_);
+    return probe_locked(context, source, tag);
+  }
+
+  /// Blocking probe: wait until a matching envelope arrives; returns its
+  /// payload size without removing it.
+  std::size_t probe_wait(std::uint64_t context, int source, int tag) {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (auto n = probe_locked(context, source, tag)) return *n;
+      cv_.wait(lock);
+    }
+  }
+
+  /// Number of queued envelopes (all contexts); used by tests/diagnostics.
+  std::size_t depth() const {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  static bool matches(const Envelope& env, std::uint64_t context, int source, int tag) {
+    return env.context == context &&
+           (source == kAnySource || env.source == source) &&
+           (tag == kAnyTag || env.tag == tag);
+  }
+
+  std::optional<std::size_t> probe_locked(std::uint64_t context, int source, int tag) const {
+    for (const Envelope& env : queue_) {
+      if (matches(env, context, source, tag)) return env.payload.size();
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Envelope> try_take(std::uint64_t context, int source, int tag) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, context, source, tag)) {
+        Envelope env = std::move(*it);
+        queue_.erase(it);
+        return env;
+      }
+    }
+    return std::nullopt;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace pstap::mp

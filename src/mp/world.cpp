@@ -1,0 +1,46 @@
+#include "mp/world.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace pstap::mp {
+
+World::World(int size) {
+  PSTAP_REQUIRE(size >= 1, "World size must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+World::~World() = default;
+
+Mailbox& World::mailbox(int world_rank) {
+  PSTAP_REQUIRE(world_rank >= 0 && world_rank < size(), "world rank out of range");
+  return *mailboxes_[static_cast<std::size_t>(world_rank)];
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  const int n = size();
+  std::vector<int> identity(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([this, &fn, &identity, &errors, r] {
+      try {
+        Comm comm(this, identity, r, /*context=*/0);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace pstap::mp

@@ -1,0 +1,44 @@
+// World: owns the mailboxes and threads backing an mp "machine".
+//
+// Each rank of the paper's parallel machine becomes one thread; World
+// spawns them, hands each a Comm covering all ranks (context 0), and joins
+// them, rethrowing the first rank exception so tests fail loudly.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mp/comm.hpp"
+#include "mp/mailbox.hpp"
+
+namespace pstap::mp {
+
+class World {
+ public:
+  /// Create a world of `size` ranks (>= 1). No threads run until run().
+  explicit World(int size);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+
+  /// Execute `fn(comm)` on every rank, each in its own thread; blocks until
+  /// all ranks return. If ranks throw, the first exception (by rank order)
+  /// is rethrown here after all threads have been joined.
+  ///
+  /// May be called repeatedly; mailboxes persist across calls (a message
+  /// sent in one run() could be received in the next — avoid relying on it).
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Mailbox of a world rank (used by Comm).
+  Mailbox& mailbox(int world_rank);
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace pstap::mp

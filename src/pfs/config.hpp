@@ -1,0 +1,51 @@
+// Configuration of a striped parallel file system instance.
+//
+// Models the two systems the paper measures:
+//   * Paragon PFS  — stripe directories with asynchronous reads
+//     (gopen + M_ASYNC, iread()/ireadoff()), letting I/O overlap compute;
+//   * IBM PIOFS    — striped "slices" but synchronous-only read/write.
+//
+// The optional per-server bandwidth throttle stands in for the finite
+// service rate of a real I/O server so that stripe-factor effects are
+// observable even on a fast local disk (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pstap::pfs {
+
+struct PfsConfig {
+  /// Human-readable name used in logs and bench tables.
+  std::string name = "pfs";
+
+  /// Number of stripe directories (I/O servers). Paper contrasts a small
+  /// (16) and a large (64) Paragon PFS plus the SP's PIOFS.
+  std::size_t stripe_factor = 16;
+
+  /// Striping granularity in bytes; 64 KB on both of the paper's systems.
+  std::size_t stripe_unit = 64 * KiB;
+
+  /// Whether the client API supports asynchronous reads. When false
+  /// (PIOFS), iread() completes the transfer before returning, so callers
+  /// cannot overlap I/O with compute — exactly the limitation the paper
+  /// blames for the SP's poor pipeline scaling.
+  bool supports_async = true;
+
+  /// Per-stripe-directory service bandwidth in bytes/second; 0 disables
+  /// throttling (tests) — set it to emulate finite I/O servers (benches).
+  double server_bandwidth = 0.0;
+
+  /// Fixed per-chunk service latency in seconds (request setup + seek).
+  double server_latency = 0.0;
+};
+
+/// Paragon-PFS-like presets used throughout tests and benches.
+PfsConfig paragon_pfs(std::size_t stripe_factor);
+
+/// PIOFS-like preset (no async support).
+PfsConfig piofs(std::size_t stripe_factor = 80);
+
+}  // namespace pstap::pfs

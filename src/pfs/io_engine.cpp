@@ -1,0 +1,106 @@
+#include "pfs/io_engine.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/wall_clock.hpp"
+
+namespace pstap::pfs {
+
+IoEngine::IoEngine(std::size_t servers, double bandwidth, double latency)
+    : bandwidth_(bandwidth), latency_(latency) {
+  PSTAP_REQUIRE(servers >= 1, "IoEngine needs at least one server");
+  queues_.reserve(servers);
+  for (std::size_t s = 0; s < servers; ++s) queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(servers);
+  for (std::size_t s = 0; s < servers; ++s) {
+    threads_.emplace_back([this, s] { service_loop(s); });
+  }
+}
+
+IoEngine::~IoEngine() {
+  for (auto& q : queues_) {
+    {
+      std::lock_guard lock(q->mu);
+      q->stop = true;
+    }
+    q->cv.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+IoRequest IoEngine::make_request(std::size_t chunks) {
+  auto state = std::make_shared<detail::RequestState>();
+  state->pending = chunks;
+  return IoRequest(std::move(state));
+}
+
+void IoEngine::submit(std::size_t server, Job job) {
+  PSTAP_REQUIRE(server < queues_.size(), "server index out of range");
+  PSTAP_REQUIRE(job.state != nullptr, "job has no request state");
+  Queue& q = *queues_[server];
+  {
+    std::lock_guard lock(q.mu);
+    q.jobs.push_back(std::move(job));
+  }
+  q.cv.notify_one();
+}
+
+void IoEngine::service_loop(std::size_t server) {
+  Queue& q = *queues_[server];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(q.mu);
+      q.cv.wait(lock, [&] { return q.stop || !q.jobs.empty(); });
+      if (q.jobs.empty()) return;  // stop requested and drained
+      job = std::move(q.jobs.front());
+      q.jobs.pop_front();
+    }
+
+    const Seconds started = monotonic_now();
+    std::exception_ptr error;
+    try {
+      std::size_t moved = 0;
+      while (moved < job.len) {
+        const ssize_t n =
+            job.is_write
+                ? ::pwrite(job.fd, job.buf + moved, job.len - moved,
+                           static_cast<off_t>(job.offset + moved))
+                : ::pread(job.fd, job.buf + moved, job.len - moved,
+                          static_cast<off_t>(job.offset + moved));
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          PSTAP_IO_FAIL(job.is_write ? "pwrite failed" : "pread failed", errno);
+        }
+        if (n == 0) PSTAP_IO_FAIL("unexpected EOF inside a striped segment", 0);
+        moved += static_cast<std::size_t>(n);
+      }
+      bytes_serviced_.fetch_add(job.len, std::memory_order_relaxed);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    // Model the finite service rate of a real I/O server: if the local disk
+    // finished faster than the modeled transfer, sleep out the remainder.
+    if (bandwidth_ > 0.0 || latency_ > 0.0) {
+      const double modeled =
+          latency_ + (bandwidth_ > 0.0 ? static_cast<double>(job.len) / bandwidth_ : 0.0);
+      const double remaining = modeled - (monotonic_now() - started);
+      if (remaining > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
+      }
+    }
+
+    job.state->complete_one(error);
+  }
+}
+
+std::uint64_t IoEngine::bytes_serviced() const {
+  return bytes_serviced_.load(std::memory_order_relaxed);
+}
+
+}  // namespace pstap::pfs

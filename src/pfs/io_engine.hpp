@@ -1,0 +1,120 @@
+// Asynchronous I/O engine: one service thread per stripe directory.
+//
+// Mirrors the structure of a parallel file system's server side: each
+// stripe directory has an independent queue and service thread, so a read
+// that spans many stripe directories proceeds in parallel while a small
+// stripe factor funnels all chunks through few queues — the mechanism
+// behind the paper's stripe-factor bottleneck.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pstap::pfs {
+
+namespace detail {
+/// Completion state shared between an IoRequest and its queued chunks.
+struct RequestState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+
+  void complete_one(std::exception_ptr e) {
+    std::lock_guard lock(mu);
+    if (e && !error) error = e;
+    if (--pending == 0) cv.notify_all();
+  }
+};
+}  // namespace detail
+
+/// Handle to an in-flight asynchronous read (the paper's iread handle;
+/// wait() plays the role of ireadoff/iowait).
+class IoRequest {
+ public:
+  IoRequest() = default;
+
+  /// Block until every chunk is serviced; rethrows the first chunk error.
+  void wait() {
+    if (!state_) return;
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->pending == 0; });
+    if (state_->error) std::rethrow_exception(state_->error);
+    state_.reset();
+  }
+
+  /// Nonblocking completion poll (does not consume errors; call wait()).
+  bool done() const {
+    if (!state_) return true;
+    std::lock_guard lock(state_->mu);
+    return state_->pending == 0;
+  }
+
+ private:
+  friend class IoEngine;
+  friend class StripedFile;  // attaches jobs to the shared state
+  explicit IoRequest(std::shared_ptr<detail::RequestState> s) : state_(std::move(s)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// Pool of per-stripe-directory service threads with optional bandwidth
+/// throttling.
+class IoEngine {
+ public:
+  /// One job: transfer `len` bytes between file descriptor `fd` at segment
+  /// offset `offset` and memory `buf`.
+  struct Job {
+    int fd = -1;
+    std::uint64_t offset = 0;
+    std::byte* buf = nullptr;
+    std::size_t len = 0;
+    bool is_write = false;
+    std::shared_ptr<detail::RequestState> state;
+  };
+
+  /// `servers` threads; each services its queue at `bandwidth` bytes/s
+  /// (0 = unthrottled) plus `latency` seconds fixed cost per chunk.
+  IoEngine(std::size_t servers, double bandwidth, double latency);
+  ~IoEngine();
+
+  IoEngine(const IoEngine&) = delete;
+  IoEngine& operator=(const IoEngine&) = delete;
+
+  std::size_t servers() const noexcept { return queues_.size(); }
+
+  /// Create a request expecting `chunks` completions.
+  IoRequest make_request(std::size_t chunks);
+
+  /// Enqueue one chunk on stripe-directory `server`'s queue.
+  void submit(std::size_t server, Job job);
+
+  /// Total bytes serviced so far (reads + writes), for tests/benches.
+  std::uint64_t bytes_serviced() const;
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> jobs;
+    bool stop = false;
+  };
+
+  void service_loop(std::size_t server);
+
+  double bandwidth_;
+  double latency_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> bytes_serviced_{0};
+};
+
+}  // namespace pstap::pfs

@@ -1,0 +1,317 @@
+#include "pfs/striped_file_system.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace pstap::pfs {
+
+namespace fs = std::filesystem;
+
+PfsConfig paragon_pfs(std::size_t stripe_factor) {
+  PfsConfig cfg;
+  cfg.name = "paragon-pfs-sf" + std::to_string(stripe_factor);
+  cfg.stripe_factor = stripe_factor;
+  cfg.stripe_unit = 64 * KiB;
+  cfg.supports_async = true;
+  return cfg;
+}
+
+PfsConfig piofs(std::size_t stripe_factor) {
+  PfsConfig cfg;
+  cfg.name = "piofs-sf" + std::to_string(stripe_factor);
+  cfg.stripe_factor = stripe_factor;
+  cfg.stripe_unit = 64 * KiB;
+  cfg.supports_async = false;  // PIOFS has no asynchronous read API
+  return cfg;
+}
+
+StripedFileSystem::StripedFileSystem(fs::path root, PfsConfig config)
+    : root_(std::move(root)), config_(std::move(config)) {
+  PSTAP_REQUIRE(config_.stripe_factor >= 1, "stripe factor must be >= 1");
+  PSTAP_REQUIRE(config_.stripe_unit >= 1, "stripe unit must be >= 1 byte");
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) PSTAP_IO_FAIL("cannot create pfs root " + root_.string(), ec.value());
+
+  // Superblock: the striping layout is a property of the on-disk data, not
+  // of the mount. Persist it on first mount; verify it afterwards.
+  const fs::path super = root_ / ".pfs_superblock";
+  if (fs::exists(super)) {
+    std::ifstream in(super);
+    std::size_t factor = 0, unit = 0;
+    if (!(in >> factor >> unit)) {
+      PSTAP_IO_FAIL("corrupt pfs superblock at " + super.string(), 0);
+    }
+    PSTAP_REQUIRE(factor == config_.stripe_factor && unit == config_.stripe_unit,
+                  "mount layout (stripe factor " +
+                      std::to_string(config_.stripe_factor) + ", unit " +
+                      std::to_string(config_.stripe_unit) +
+                      ") does not match the on-disk layout (factor " +
+                      std::to_string(factor) + ", unit " + std::to_string(unit) +
+                      ")");
+  } else {
+    std::ofstream out(super, std::ios::trunc);
+    out << config_.stripe_factor << ' ' << config_.stripe_unit << '\n';
+    if (!out) PSTAP_IO_FAIL("cannot write pfs superblock", errno);
+  }
+
+  for (std::size_t d = 0; d < config_.stripe_factor; ++d) {
+    char dir[16];
+    std::snprintf(dir, sizeof dir, "sd%03zu", d);
+    fs::create_directories(root_ / dir, ec);
+    if (ec) PSTAP_IO_FAIL("cannot create stripe directory", ec.value());
+  }
+  engine_ = std::make_unique<IoEngine>(config_.stripe_factor, config_.server_bandwidth,
+                                       config_.server_latency);
+  // Recover the catalog from persisted metadata.
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".meta") continue;
+    std::ifstream in(entry.path());
+    std::uint64_t size = 0;
+    if (in >> size) catalog_[entry.path().stem().string()] = size;
+  }
+}
+
+StripedFileSystem::~StripedFileSystem() = default;
+
+void StripedFileSystem::validate_name(const std::string& name) const {
+  PSTAP_REQUIRE(!name.empty() && name.find('/') == std::string::npos &&
+                    name.find("..") == std::string::npos,
+                "file name must be a non-empty basename");
+}
+
+fs::path StripedFileSystem::segment_path(const std::string& name, std::size_t dir) const {
+  char d[16];
+  std::snprintf(d, sizeof d, "sd%03zu", dir);
+  return root_ / d / (name + ".seg");
+}
+
+fs::path StripedFileSystem::meta_path(const std::string& name) const {
+  return root_ / (name + ".meta");
+}
+
+bool StripedFileSystem::exists(const std::string& name) const {
+  validate_name(name);
+  std::lock_guard lock(mu_);
+  return catalog_.contains(name);
+}
+
+std::uint64_t StripedFileSystem::file_size(const std::string& name) const {
+  validate_name(name);
+  std::lock_guard lock(mu_);
+  const auto it = catalog_.find(name);
+  PSTAP_REQUIRE(it != catalog_.end(), "file does not exist: " + name);
+  return it->second;
+}
+
+std::vector<std::string> StripedFileSystem::list_files() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(catalog_.size());
+  for (const auto& [name, size] : catalog_) names.push_back(name);
+  return names;
+}
+
+std::uint64_t StripedFileSystem::catalog_size(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = catalog_.find(name);
+  return it == catalog_.end() ? 0 : it->second;
+}
+
+void StripedFileSystem::catalog_extend(const std::string& name, std::uint64_t new_size) {
+  std::lock_guard lock(mu_);
+  auto& size = catalog_[name];
+  if (new_size <= size) return;
+  size = new_size;
+  std::ofstream out(meta_path(name), std::ios::trunc);
+  out << size << '\n';
+  if (!out) PSTAP_IO_FAIL("cannot persist metadata for " + name, errno);
+}
+
+StripedFile StripedFileSystem::open(const std::string& name) {
+  validate_name(name);
+  {
+    std::lock_guard lock(mu_);
+    PSTAP_REQUIRE(catalog_.contains(name), "file does not exist: " + name);
+  }
+  std::vector<int> fds;
+  fds.reserve(config_.stripe_factor);
+  for (std::size_t d = 0; d < config_.stripe_factor; ++d) {
+    const int fd = ::open(segment_path(name, d).c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      for (int f : fds) ::close(f);
+      PSTAP_IO_FAIL("cannot open segment of " + name, errno);
+    }
+    fds.push_back(fd);
+  }
+  return StripedFile(this, name, std::move(fds));
+}
+
+StripedFile StripedFileSystem::create(const std::string& name) {
+  validate_name(name);
+  {
+    std::lock_guard lock(mu_);
+    catalog_[name] = 0;
+    std::ofstream out(meta_path(name), std::ios::trunc);
+    out << 0 << '\n';
+  }
+  for (std::size_t d = 0; d < config_.stripe_factor; ++d) {
+    // Truncate any stale segment content.
+    const int fd = ::open(segment_path(name, d).c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) PSTAP_IO_FAIL("cannot create segment of " + name, errno);
+    ::close(fd);
+  }
+  return open(name);
+}
+
+void StripedFileSystem::write_file(const std::string& name,
+                                   std::span<const std::byte> data) {
+  StripedFile f = create(name);
+  f.write(0, data);
+}
+
+std::vector<std::byte> StripedFileSystem::read_file(const std::string& name) {
+  StripedFile f = open(name);
+  std::vector<std::byte> data(f.size());
+  if (!data.empty()) f.read(0, data);
+  return data;
+}
+
+void StripedFileSystem::remove(const std::string& name) {
+  validate_name(name);
+  {
+    std::lock_guard lock(mu_);
+    PSTAP_REQUIRE(catalog_.erase(name) == 1, "file does not exist: " + name);
+  }
+  std::error_code ec;
+  fs::remove(meta_path(name), ec);
+  for (std::size_t d = 0; d < config_.stripe_factor; ++d) {
+    fs::remove(segment_path(name, d), ec);
+  }
+}
+
+// ---------------------------------------------------------- StripedFile --
+
+StripedFile::StripedFile(StripedFileSystem* fs, std::string name,
+                         std::vector<int> segment_fds)
+    : fs_(fs), name_(std::move(name)), segment_fds_(std::move(segment_fds)) {}
+
+StripedFile::StripedFile(StripedFile&& other) noexcept
+    : fs_(other.fs_), name_(std::move(other.name_)),
+      segment_fds_(std::move(other.segment_fds_)) {
+  other.segment_fds_.clear();
+  other.fs_ = nullptr;
+}
+
+StripedFile& StripedFile::operator=(StripedFile&& other) noexcept {
+  if (this != &other) {
+    for (int fd : segment_fds_) ::close(fd);
+    fs_ = other.fs_;
+    name_ = std::move(other.name_);
+    segment_fds_ = std::move(other.segment_fds_);
+    other.segment_fds_.clear();
+    other.fs_ = nullptr;
+  }
+  return *this;
+}
+
+StripedFile::~StripedFile() {
+  for (int fd : segment_fds_) ::close(fd);
+}
+
+std::uint64_t StripedFile::size() const { return fs_->catalog_size(name_); }
+
+std::size_t StripedFile::count_chunks(std::uint64_t offset, std::size_t len) const {
+  const std::size_t unit = fs_->config().stripe_unit;
+  std::size_t chunks = 0;
+  for (std::uint64_t pos = offset; pos < offset + len;) {
+    const std::uint64_t in_unit = pos % unit;
+    const std::uint64_t take = std::min<std::uint64_t>(unit - in_unit, offset + len - pos);
+    ++chunks;
+    pos += take;
+  }
+  return chunks;
+}
+
+void StripedFile::submit_jobs(std::uint64_t offset, std::byte* buf, std::size_t len,
+                              bool is_write,
+                              const std::shared_ptr<detail::RequestState>& state) {
+  const std::size_t unit = fs_->config().stripe_unit;
+  const std::size_t factor = fs_->config().stripe_factor;
+  for (std::uint64_t pos = offset; pos < offset + len;) {
+    const std::uint64_t unit_index = pos / unit;
+    const std::uint64_t in_unit = pos % unit;
+    const std::uint64_t take = std::min<std::uint64_t>(unit - in_unit, offset + len - pos);
+    const std::size_t dir = static_cast<std::size_t>(unit_index % factor);
+    IoEngine::Job job;
+    job.fd = segment_fds_[dir];
+    job.offset = (unit_index / factor) * unit + in_unit;
+    job.buf = buf + (pos - offset);
+    job.len = static_cast<std::size_t>(take);
+    job.is_write = is_write;
+    job.state = state;
+    fs_->engine().submit(dir, std::move(job));
+    pos += take;
+  }
+}
+
+IoRequest StripedFile::submit(std::uint64_t offset, std::byte* buf, std::size_t len,
+                              bool is_write) {
+  IoRequest req = fs_->engine().make_request(count_chunks(offset, len));
+  submit_jobs(offset, buf, len, is_write, req.state_);
+  return req;
+}
+
+IoRequest StripedFile::iread_gather(std::span<const IoSegment> segments) {
+  const std::uint64_t file_size = size();
+  std::size_t chunks = 0;
+  for (const IoSegment& seg : segments) {
+    PSTAP_REQUIRE(seg.offset + seg.buf.size() <= file_size,
+                  "gather segment past end of file " + name_);
+    chunks += count_chunks(seg.offset, seg.buf.size());
+  }
+  if (chunks == 0) return IoRequest{};
+  IoRequest req = fs_->engine().make_request(chunks);
+  for (const IoSegment& seg : segments) {
+    if (!seg.buf.empty()) {
+      submit_jobs(seg.offset, seg.buf.data(), seg.buf.size(), /*is_write=*/false,
+                  req.state_);
+    }
+  }
+  if (!fs_->config().supports_async) req.wait();  // PIOFS semantics
+  return req;
+}
+
+void StripedFile::read(std::uint64_t offset, std::span<std::byte> out) {
+  PSTAP_REQUIRE(offset + out.size() <= size(), "read past end of file " + name_);
+  if (out.empty()) return;
+  submit(offset, out.data(), out.size(), /*is_write=*/false).wait();
+}
+
+IoRequest StripedFile::iread(std::uint64_t offset, std::span<std::byte> out) {
+  PSTAP_REQUIRE(offset + out.size() <= size(), "iread past end of file " + name_);
+  if (out.empty()) return IoRequest{};
+  IoRequest req = submit(offset, out.data(), out.size(), /*is_write=*/false);
+  if (!fs_->config().supports_async) {
+    // PIOFS semantics: no asynchronous read API — the call returns only
+    // after the transfer is complete, so no overlap is possible.
+    req.wait();
+  }
+  return req;
+}
+
+void StripedFile::write(std::uint64_t offset, std::span<const std::byte> data) {
+  if (data.empty()) return;
+  // Engine jobs only write into the caller's buffer for reads; for writes
+  // the buffer is read-only in practice — const_cast is confined here.
+  submit(offset, const_cast<std::byte*>(data.data()), data.size(), /*is_write=*/true)
+      .wait();
+  fs_->catalog_extend(name_, offset + data.size());
+}
+
+}  // namespace pstap::pfs

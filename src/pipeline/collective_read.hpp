@@ -1,0 +1,32 @@
+// Two-phase collective I/O for CPI cubes.
+//
+// When the radar writes pulse-major files ([pulse][channel][range] — the
+// natural ADC streaming order), every node's range slab is pulses*channels
+// small strided file segments: a request-per-row pattern that hammers the
+// I/O servers with tiny chunks. The classic remedy (Choudhary et al.,
+// two-phase / data-sieving collective I/O) is to read the file in *its*
+// layout — each node takes an equal contiguous run of (pulse, channel)
+// rows with one large request — and then redistribute over the
+// interconnect to the decomposition the computation wants.
+//
+// collective_read_slab() implements exactly that on the mp runtime and the
+// striped file system; it is a drop-in alternative to
+// stap::read_cpi_slab(file, ..., FileLayout::kPulseMajor).
+#pragma once
+
+#include "mp/comm.hpp"
+#include "pfs/striped_file_system.hpp"
+#include "stap/cube_io.hpp"
+
+namespace pstap::pipeline {
+
+/// Collectively read one pulse-major CPI file over the ranks of `group`.
+/// Every rank must call with the same file and parameters; rank r returns
+/// the cube slab of the r-th block of BlockPartition(params.ranges,
+/// group.size()). `tag_base` must not collide with other traffic on the
+/// communicator (two consecutive tags are used).
+stap::DataCube collective_read_slab(mp::Comm& group, pfs::StripedFile& file,
+                                    const stap::RadarParams& params,
+                                    int tag_base = 900);
+
+}  // namespace pstap::pipeline

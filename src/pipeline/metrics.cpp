@@ -1,0 +1,39 @@
+#include "pipeline/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pstap::pipeline {
+
+double PipelineMetrics::throughput() const {
+  PSTAP_REQUIRE(!tasks.empty(), "no task timings recorded");
+  Seconds slowest = 0;
+  for (const TaskTiming& t : tasks) slowest = std::max(slowest, t.total());
+  PSTAP_REQUIRE(slowest > 0, "task times must be positive");
+  return 1.0 / slowest;
+}
+
+Seconds PipelineMetrics::latency() const {
+  PSTAP_REQUIRE(!tasks.empty(), "no task timings recorded");
+  Seconds latency = 0;
+  Seconds easy_bf = 0, hard_bf = 0;
+  for (const TaskTiming& t : tasks) {
+    if (is_temporal_task(t.kind)) continue;  // previous-CPI consumers only
+    switch (t.kind) {
+      case TaskKind::kBeamformEasy: easy_bf = t.total(); break;
+      case TaskKind::kBeamformHard: hard_bf = t.total(); break;
+      default: latency += t.total(); break;
+    }
+  }
+  return latency + std::max(easy_bf, hard_bf);
+}
+
+Seconds PipelineMetrics::task_time(TaskKind kind) const {
+  for (const TaskTiming& t : tasks) {
+    if (t.kind == kind) return t.total();
+  }
+  PSTAP_FAIL("task kind not present in metrics");
+}
+
+}  // namespace pstap::pipeline

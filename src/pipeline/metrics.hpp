@@ -1,0 +1,44 @@
+// Throughput and latency accounting — the paper's equations (1)–(4).
+//
+//   throughput = 1 / max_i T_i
+//   latency    = sum of T_i along the spatial-dependency path, taking
+//                max(easy BF, hard BF) across the fork and skipping the
+//                weight tasks (their consumers use previous-CPI data).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "pipeline/task_spec.hpp"
+
+namespace pstap::pipeline {
+
+/// Measured (or simulated) execution time of one task, split into the
+/// paper's three phases.
+struct TaskTiming {
+  TaskKind kind{};
+  int nodes = 0;
+  Seconds receive = 0;
+  Seconds compute = 0;
+  Seconds send = 0;
+
+  Seconds total() const { return receive + compute + send; }
+};
+
+/// Result of running a pipeline configuration.
+struct PipelineMetrics {
+  std::vector<TaskTiming> tasks;  ///< pipeline order, matching the spec
+
+  /// CPIs per second: 1 / max_i T_i (paper eq. 1/3).
+  double throughput() const;
+
+  /// Seconds from a CPI entering the pipeline to its detection report
+  /// (paper eq. 2/4): sum over the spatial path, max over the BF fork,
+  /// weight tasks excluded.
+  Seconds latency() const;
+
+  /// T_i of the task with the given kind (-1 -> throws).
+  Seconds task_time(TaskKind kind) const;
+};
+
+}  // namespace pstap::pipeline

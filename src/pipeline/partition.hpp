@@ -1,0 +1,55 @@
+// Block partitioning of a 1-D index space (range gates, Doppler bins,
+// bin/beam rows) over the nodes of a task — the data decomposition every
+// pipeline task uses.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace pstap::pipeline {
+
+/// Even block partition of [0, count) into `parts` chunks; the first
+/// (count % parts) chunks are one element longer.
+class BlockPartition {
+ public:
+  BlockPartition(std::size_t count, std::size_t parts) : count_(count), parts_(parts) {
+    PSTAP_REQUIRE(parts >= 1, "partition needs at least one part");
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  std::size_t parts() const noexcept { return parts_; }
+
+  std::size_t begin(std::size_t part) const {
+    PSTAP_REQUIRE(part < parts_, "part index out of range");
+    const std::size_t base = count_ / parts_;
+    const std::size_t extra = count_ % parts_;
+    return part * base + std::min(part, extra);
+  }
+
+  std::size_t end(std::size_t part) const { return begin(part) + size(part); }
+
+  std::size_t size(std::size_t part) const {
+    PSTAP_REQUIRE(part < parts_, "part index out of range");
+    const std::size_t base = count_ / parts_;
+    const std::size_t extra = count_ % parts_;
+    return base + (part < extra ? 1 : 0);
+  }
+
+  /// The part owning element `index`.
+  std::size_t owner(std::size_t index) const {
+    PSTAP_REQUIRE(index < count_, "element index out of range");
+    const std::size_t base = count_ / parts_;
+    const std::size_t extra = count_ % parts_;
+    const std::size_t long_span = (base + 1) * extra;  // elements in long parts
+    if (base == 0) return index;  // more parts than elements: 1 element each
+    if (index < long_span) return index / (base + 1);
+    return extra + (index - long_span) / base;
+  }
+
+ private:
+  std::size_t count_;
+  std::size_t parts_;
+};
+
+}  // namespace pstap::pipeline

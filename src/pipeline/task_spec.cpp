@@ -1,0 +1,189 @@
+#include "pipeline/task_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pstap::pipeline {
+
+const char* task_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kParallelRead: return "parallel read";
+    case TaskKind::kDoppler: return "Doppler filter";
+    case TaskKind::kWeightsEasy: return "easy weight";
+    case TaskKind::kWeightsHard: return "hard weight";
+    case TaskKind::kBeamformEasy: return "easy BF";
+    case TaskKind::kBeamformHard: return "hard BF";
+    case TaskKind::kPulseCompression: return "pulse compr";
+    case TaskKind::kCfar: return "CFAR";
+    case TaskKind::kPulseCompressionCfar: return "PC + CFAR";
+  }
+  return "?";
+}
+
+bool is_temporal_task(TaskKind kind) {
+  return kind == TaskKind::kWeightsEasy || kind == TaskKind::kWeightsHard;
+}
+
+int PipelineSpec::total_nodes() const {
+  int total = 0;
+  for (const TaskSpec& t : tasks) total += t.nodes;
+  return total;
+}
+
+int PipelineSpec::find(TaskKind kind) const {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].kind == kind) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+std::vector<TaskKind> expected_structure(IoStrategy io, bool combined) {
+  std::vector<TaskKind> kinds;
+  if (io == IoStrategy::kSeparateTask) kinds.push_back(TaskKind::kParallelRead);
+  kinds.push_back(TaskKind::kDoppler);
+  kinds.push_back(TaskKind::kWeightsEasy);
+  kinds.push_back(TaskKind::kWeightsHard);
+  kinds.push_back(TaskKind::kBeamformEasy);
+  kinds.push_back(TaskKind::kBeamformHard);
+  if (combined) {
+    kinds.push_back(TaskKind::kPulseCompressionCfar);
+  } else {
+    kinds.push_back(TaskKind::kPulseCompression);
+    kinds.push_back(TaskKind::kCfar);
+  }
+  return kinds;
+}
+}  // namespace
+
+void PipelineSpec::validate() const {
+  params.validate();
+  const auto expected = expected_structure(io, combined_pc_cfar);
+  PSTAP_REQUIRE(tasks.size() == expected.size(),
+                "task list does not match the declared pipeline structure");
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    PSTAP_REQUIRE(tasks[i].kind == expected[i],
+                  std::string("unexpected task at position ") + std::to_string(i) +
+                      ": " + task_name(tasks[i].kind));
+    PSTAP_REQUIRE(tasks[i].nodes >= 1, "every task needs at least one node");
+  }
+}
+
+namespace {
+PipelineSpec build(const stap::RadarParams& params, IoStrategy io, bool combined,
+                   const std::vector<int>& nodes) {
+  const auto kinds = expected_structure(io, combined);
+  PSTAP_REQUIRE(nodes.size() == kinds.size(),
+                "node assignment size does not match the pipeline structure");
+  PipelineSpec spec;
+  spec.params = params;
+  spec.io = io;
+  spec.combined_pc_cfar = combined;
+  spec.tasks.reserve(kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    spec.tasks.push_back({kinds[i], nodes[i]});
+  }
+  spec.validate();
+  return spec;
+}
+}  // namespace
+
+PipelineSpec PipelineSpec::embedded_io(const stap::RadarParams& params,
+                                       const std::vector<int>& nodes) {
+  return build(params, IoStrategy::kEmbedded, false, nodes);
+}
+
+PipelineSpec PipelineSpec::separate_io(const stap::RadarParams& params,
+                                       const std::vector<int>& nodes) {
+  return build(params, IoStrategy::kSeparateTask, false, nodes);
+}
+
+PipelineSpec PipelineSpec::combined(const stap::RadarParams& params,
+                                    const std::vector<int>& nodes) {
+  return build(params, IoStrategy::kEmbedded, true, nodes);
+}
+
+PipelineSpec proportional_assignment(const stap::RadarParams& params, int total,
+                                     IoStrategy io, bool combined_pc_cfar,
+                                     int io_nodes, double comm_flop_equiv) {
+  PSTAP_REQUIRE(comm_flop_equiv >= 0.0, "comm_flop_equiv must be non-negative");
+  const auto kinds = expected_structure(io, combined_pc_cfar);
+  const stap::WorkloadModel wm(params);
+
+  auto flops_of = [&](TaskKind kind) -> double {
+    auto load = [&](const stap::TaskWork& w) {
+      return w.flops + comm_flop_equiv * (w.in_bytes + w.out_bytes);
+    };
+    switch (kind) {
+      case TaskKind::kParallelRead: return 0.0;  // assigned explicitly
+      case TaskKind::kDoppler: {
+        // The file read is not network communication; weight compute + sends.
+        const auto w = wm.doppler();
+        return w.flops + comm_flop_equiv * w.out_bytes;
+      }
+      case TaskKind::kWeightsEasy: return load(wm.weights_easy());
+      case TaskKind::kWeightsHard: return load(wm.weights_hard());
+      case TaskKind::kBeamformEasy: return load(wm.beamform_easy());
+      case TaskKind::kBeamformHard: return load(wm.beamform_hard());
+      case TaskKind::kPulseCompression: return load(wm.pulse_compression());
+      case TaskKind::kCfar: return load(wm.cfar());
+      case TaskKind::kPulseCompressionCfar: return load(wm.pulse_compression_cfar());
+    }
+    return 0.0;
+  };
+
+  // Compute tasks share `total`; the read task (if any) gets io_nodes.
+  std::vector<TaskKind> compute_kinds;
+  for (const TaskKind k : kinds) {
+    if (k != TaskKind::kParallelRead) compute_kinds.push_back(k);
+  }
+  const int n_compute = static_cast<int>(compute_kinds.size());
+  PSTAP_REQUIRE(total >= n_compute, "need at least one node per compute task");
+  if (io == IoStrategy::kSeparateTask) {
+    PSTAP_REQUIRE(io_nodes >= 1, "separate-I/O design needs io_nodes >= 1");
+  }
+
+  double flops_total = 0.0;
+  for (const TaskKind k : compute_kinds) flops_total += flops_of(k);
+
+  // Largest-remainder apportionment with a floor of one node per task.
+  std::vector<int> assign(compute_kinds.size(), 1);
+  int remaining = total - n_compute;
+  std::vector<double> exact(compute_kinds.size());
+  for (std::size_t i = 0; i < compute_kinds.size(); ++i) {
+    exact[i] = static_cast<double>(remaining) * flops_of(compute_kinds[i]) / flops_total;
+    assign[i] += static_cast<int>(exact[i]);
+  }
+  int used = 0;
+  for (const int a : assign) used += a;
+  // Distribute leftover nodes by descending fractional remainder.
+  std::vector<std::size_t> order(compute_kinds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double fa = exact[a] - std::floor(exact[a]);
+    const double fb = exact[b] - std::floor(exact[b]);
+    return fa != fb ? fa > fb : a < b;
+  });
+  for (std::size_t i = 0; used < total && i < order.size(); ++i) {
+    assign[order[i]] += 1;
+    ++used;
+  }
+  PSTAP_CHECK(used == total, "node apportionment did not consume all nodes");
+
+  std::vector<int> nodes;
+  nodes.reserve(kinds.size());
+  std::size_t ci = 0;
+  for (const TaskKind k : kinds) {
+    nodes.push_back(k == TaskKind::kParallelRead ? io_nodes : assign[ci++]);
+  }
+  PipelineSpec spec;
+  spec.params = params;
+  spec.io = io;
+  spec.combined_pc_cfar = combined_pc_cfar;
+  for (std::size_t i = 0; i < kinds.size(); ++i) spec.tasks.push_back({kinds[i], nodes[i]});
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pstap::pipeline

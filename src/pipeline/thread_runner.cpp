@@ -1,0 +1,806 @@
+#include "pipeline/thread_runner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <tuple>
+
+#include "common/wall_clock.hpp"
+#include "mp/world.hpp"
+#include "pipeline/collective_read.hpp"
+#include "pipeline/partition.hpp"
+#include "stap/beamform.hpp"
+#include "stap/cube_io.hpp"
+#include "stap/detection_log.hpp"
+#include "stap/doppler.hpp"
+#include "stap/pulse_compress.hpp"
+#include "stap/weights.hpp"
+
+namespace pstap::pipeline {
+
+namespace {
+
+// Message streams between tasks. Per-(source, tag) FIFO ordering in mp makes
+// one constant tag per stream sufficient: successive CPIs stay ordered.
+enum : int {
+  kTagRaw = 1,          // read task -> Doppler (file-order slab pieces)
+  kTagSpecEasy = 2,     // Doppler -> easy BF
+  kTagSpecHard = 3,     // Doppler -> hard BF
+  kTagTrainEasy = 4,    // Doppler -> easy WC (training gates)
+  kTagTrainHard = 5,    // Doppler -> hard WC
+  kTagWeightsEasy = 6,  // easy WC -> easy BF (temporal edge)
+  kTagWeightsHard = 7,  // hard WC -> hard BF
+  kTagBeamEasy = 8,     // easy BF -> PC (or PC+CFAR)
+  kTagBeamHard = 9,     // hard BF -> PC (or PC+CFAR)
+  kTagPcOut = 10,       // PC -> CFAR
+};
+
+/// Maps (task index, local node) <-> world rank: tasks own contiguous rank
+/// blocks in pipeline order.
+struct Assignment {
+  std::vector<int> first;  // first[i] = first world rank of task i
+  std::vector<int> counts;
+
+  explicit Assignment(const PipelineSpec& spec) {
+    int next = 0;
+    for (const TaskSpec& t : spec.tasks) {
+      first.push_back(next);
+      counts.push_back(t.nodes);
+      next += t.nodes;
+    }
+  }
+
+  int world_rank(int task, int local) const { return first[task] + local; }
+
+  std::pair<int, int> locate(int rank) const {
+    for (std::size_t t = 0; t < first.size(); ++t) {
+      if (rank < first[t] + counts[t]) return {static_cast<int>(t), rank - first[t]};
+    }
+    PSTAP_FAIL("rank not covered by any task");
+  }
+};
+
+struct Phase {
+  Seconds recv = 0, comp = 0, send = 0;
+};
+
+struct SharedResults {
+  std::vector<Phase> avg_phase;                            // per world rank
+  std::vector<std::vector<stap::Detection>> detections;    // per world rank
+};
+
+/// Everything a node function needs.
+struct NodeCtx {
+  const PipelineSpec& spec;
+  const RunOptions& opt;
+  const Assignment& assign;
+  mp::Comm& world;
+  pfs::StripedFileSystem& fs;
+  int task = 0;
+  int local = 0;
+  SharedResults* results = nullptr;
+
+  const stap::RadarParams& params() const { return spec.params; }
+  int nodes_of(TaskKind kind) const {
+    const int i = spec.find(kind);
+    return i < 0 ? 0 : spec.tasks[static_cast<std::size_t>(i)].nodes;
+  }
+  int rank_of(TaskKind kind, int local_id) const {
+    const int i = spec.find(kind);
+    PSTAP_CHECK(i >= 0, "task kind absent from spec");
+    return assign.world_rank(i, local_id);
+  }
+};
+
+/// Per-CPI phase timing accumulator.
+class PhaseClock {
+ public:
+  PhaseClock(const RunOptions& opt, Phase& out) : opt_(opt), out_(out) {}
+
+  void start_cpi(int cpi) { timed_ = cpi >= opt_.warmup; }
+  void finish() {
+    const int timed_cpis = std::max(1, opt_.cpis - opt_.warmup);
+    out_.recv = recv_ / timed_cpis;
+    out_.comp = comp_ / timed_cpis;
+    out_.send = send_ / timed_cpis;
+  }
+
+  // Scoped phase sections.
+  template <typename F>
+  void recv(F&& f) { timed_section(recv_, std::forward<F>(f)); }
+  template <typename F>
+  void comp(F&& f) { timed_section(comp_, std::forward<F>(f)); }
+  template <typename F>
+  void send(F&& f) { timed_section(send_, std::forward<F>(f)); }
+
+ private:
+  template <typename F>
+  void timed_section(Seconds& sink, F&& f) {
+    if (!timed_) {
+      f();
+      return;
+    }
+    const Seconds t0 = monotonic_now();
+    f();
+    sink += monotonic_now() - t0;
+  }
+
+  const RunOptions& opt_;
+  Phase& out_;
+  bool timed_ = false;
+  Seconds recv_ = 0, comp_ = 0, send_ = 0;
+};
+
+/// The (bin-subset, dof, range-slab) slices Doppler nodes ship to BF/WC
+/// nodes: [local bins of the receiver][dof][sender's range window].
+void pack_bin_slab(const stap::BinArray& src, std::size_t bin_lo, std::size_t bin_hi,
+                   std::size_t r_lo, std::size_t r_hi, std::vector<cfloat>& out) {
+  out.clear();
+  out.reserve((bin_hi - bin_lo) * src.dof() * (r_hi - r_lo));
+  for (std::size_t b = bin_lo; b < bin_hi; ++b) {
+    for (std::size_t d = 0; d < src.dof(); ++d) {
+      const auto row = src.range_series(b, d);
+      out.insert(out.end(), row.begin() + r_lo, row.begin() + r_hi);
+    }
+  }
+}
+
+void unpack_bin_slab(stap::BinArray& dst, std::size_t r_lo, std::size_t r_hi,
+                     std::span<const cfloat> in) {
+  PSTAP_CHECK(in.size() == dst.bins() * dst.dof() * (r_hi - r_lo),
+              "bin slab message size mismatch");
+  std::size_t idx = 0;
+  for (std::size_t b = 0; b < dst.bins(); ++b) {
+    for (std::size_t d = 0; d < dst.dof(); ++d) {
+      auto row = dst.range_series(b, d);
+      for (std::size_t r = r_lo; r < r_hi; ++r) row[r] = in[idx++];
+    }
+  }
+}
+
+/// Conventional (steering-only) weights used at CPI 0 before the first
+/// adaptive weights arrive over the temporal edge.
+stap::WeightSet default_weights(const stap::WeightComputer& wc,
+                                const std::vector<std::size_t>& bins,
+                                const stap::RadarParams& params, std::size_t dof) {
+  stap::WeightSet ws(bins.size(), params.beams, dof);
+  for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+    for (std::size_t beam = 0; beam < params.beams; ++beam) {
+      const auto s = wc.steering(bins[bi], beam);
+      double s2 = 0;
+      for (const auto& v : s) s2 += std::norm(v);
+      auto out = ws.at(bi, beam);
+      for (std::size_t d = 0; d < dof; ++d)
+        out[d] = s[d] * static_cast<float>(1.0 / s2);
+    }
+  }
+  return ws;
+}
+
+// ------------------------------------------------------------- I/O nodes --
+
+/// Shared logic for reading range slabs of the round-robin files with
+/// next-CPI prefetch when the file system supports asynchronous reads.
+class SlabReader {
+ public:
+  SlabReader(NodeCtx& ctx, std::size_t r_lo, std::size_t r_hi)
+      : ctx_(ctx), r_lo_(r_lo), r_hi_(r_hi) {
+    const auto& p = ctx.params();
+    const std::size_t n = (r_hi - r_lo) * p.pulses * p.channels;
+    bufs_[0].resize(n);
+    bufs_[1].resize(n);
+    for (std::size_t f = 0; f < ctx.opt.round_robin_files; ++f) {
+      files_.push_back(ctx.fs.open(stap::round_robin_name(f, ctx.opt.round_robin_files)));
+    }
+  }
+
+  bool empty() const { return r_lo_ >= r_hi_; }
+
+  /// Issue the read for `cpi` (async where supported).
+  void start(int cpi) {
+    if (empty()) return;
+    auto& file = files_[static_cast<std::size_t>(cpi) % files_.size()];
+    pending_[cpi & 1] = stap::start_read_cpi_slab(
+        file, ctx_.params(), r_lo_, r_hi_, std::span<cfloat>(bufs_[cpi & 1]),
+        ctx_.opt.file_layout);
+  }
+
+  /// Wait for `cpi`'s read; returns the raw file-order slab.
+  std::span<const cfloat> wait(int cpi) {
+    if (empty()) return {};
+    pending_[cpi & 1].wait();
+    return bufs_[cpi & 1];
+  }
+
+  bool async_capable() const { return ctx_.fs.config().supports_async; }
+
+ private:
+  NodeCtx& ctx_;
+  std::size_t r_lo_, r_hi_;
+  std::vector<pfs::StripedFile> files_;
+  std::array<std::vector<cfloat>, 2> bufs_;
+  std::array<pfs::IoRequest, 2> pending_;
+};
+
+void run_read_node(NodeCtx& ctx, PhaseClock& clock) {
+  const auto& p = ctx.params();
+  const int reads = ctx.nodes_of(TaskKind::kParallelRead);
+  const int dops = ctx.nodes_of(TaskKind::kDoppler);
+  const BlockPartition mine(p.ranges, static_cast<std::size_t>(reads));
+  const BlockPartition theirs(p.ranges, static_cast<std::size_t>(dops));
+  const std::size_t r_lo = mine.begin(static_cast<std::size_t>(ctx.local));
+  const std::size_t r_hi = mine.end(static_cast<std::size_t>(ctx.local));
+  SlabReader reader(ctx, r_lo, r_hi);
+  const std::size_t per_range = p.pulses * p.channels;
+
+  // Async-capable systems prefetch the next CPI so the read overlaps the
+  // send phase; synchronous-only systems (PIOFS) pay the full read inside
+  // the receive phase — the contrast the paper studies.
+  if (reader.async_capable()) reader.start(0);
+  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+    clock.start_cpi(cpi);
+    std::span<const cfloat> raw;
+    clock.recv([&] {
+      if (!reader.async_capable()) reader.start(cpi);
+      raw = reader.wait(cpi);
+    });
+    if (cpi + 1 < ctx.opt.cpis && reader.async_capable()) reader.start(cpi + 1);
+    clock.send([&] {
+      for (int d = 0; d < dops; ++d) {
+        const std::size_t lo = std::max(r_lo, theirs.begin(static_cast<std::size_t>(d)));
+        const std::size_t hi = std::min(r_hi, theirs.end(static_cast<std::size_t>(d)));
+        if (lo >= hi) continue;
+        // File order is range-major, so the intersection is contiguous.
+        const auto piece = raw.subspan((lo - r_lo) * per_range, (hi - lo) * per_range);
+        ctx.world.send<cfloat>(ctx.rank_of(TaskKind::kDoppler, d), kTagRaw, piece);
+      }
+    });
+  }
+}
+
+// --------------------------------------------------------- Doppler nodes --
+
+void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
+  const auto& p = ctx.params();
+  const int dops = ctx.nodes_of(TaskKind::kDoppler);
+  const BlockPartition mine(p.ranges, static_cast<std::size_t>(dops));
+  const std::size_t r_lo = mine.begin(static_cast<std::size_t>(ctx.local));
+  const std::size_t r_hi = mine.end(static_cast<std::size_t>(ctx.local));
+  const bool embedded = ctx.spec.io == IoStrategy::kEmbedded;
+
+  const auto easy_ids = p.easy_bins();
+  const auto hard_ids = p.hard_bins();
+  const int n_be = ctx.nodes_of(TaskKind::kBeamformEasy);
+  const int n_bh = ctx.nodes_of(TaskKind::kBeamformHard);
+  const int n_we = ctx.nodes_of(TaskKind::kWeightsEasy);
+  const int n_wh = ctx.nodes_of(TaskKind::kWeightsHard);
+  const BlockPartition part_be(easy_ids.size(), static_cast<std::size_t>(n_be));
+  const BlockPartition part_bh(hard_ids.size(), static_cast<std::size_t>(n_bh));
+  const BlockPartition part_we(easy_ids.size(), static_cast<std::size_t>(n_we));
+  const BlockPartition part_wh(hard_ids.size(), static_cast<std::size_t>(n_wh));
+
+  stap::DopplerFilter filter(p);
+  std::optional<SlabReader> reader;
+  std::vector<cfloat> raw_recv;
+  const bool collective = embedded && ctx.opt.collective_io;
+  std::optional<mp::Comm> doppler_group;
+  std::vector<pfs::StripedFile> collective_files;
+  if (collective) {
+    std::vector<int> doppler_ranks;
+    for (int d = 0; d < dops; ++d) {
+      doppler_ranks.push_back(ctx.rank_of(TaskKind::kDoppler, d));
+    }
+    doppler_group = ctx.world.subgroup(doppler_ranks);
+    for (std::size_t f = 0; f < ctx.opt.round_robin_files; ++f) {
+      collective_files.push_back(
+          ctx.fs.open(stap::round_robin_name(f, ctx.opt.round_robin_files)));
+    }
+  } else if (embedded) {
+    reader.emplace(ctx, r_lo, r_hi);
+    if (reader->async_capable()) reader->start(0);
+  } else {
+    raw_recv.resize((r_hi - r_lo) * p.pulses * p.channels);
+  }
+  const int reads = embedded ? 0 : ctx.nodes_of(TaskKind::kParallelRead);
+  const BlockPartition part_read(p.ranges, std::max<std::size_t>(1, reads));
+  const std::size_t per_range = p.pulses * p.channels;
+
+  std::vector<cfloat> pack_buf;
+  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+    clock.start_cpi(cpi);
+    stap::DataCube cube;
+    if (collective) {
+      clock.recv([&] {
+        auto& file =
+            collective_files[static_cast<std::size_t>(cpi) % collective_files.size()];
+        cube = collective_read_slab(*doppler_group, file, p);
+      });
+    } else if (embedded) {
+      std::span<const cfloat> raw;
+      clock.recv([&] {
+        if (!reader->async_capable()) reader->start(cpi);
+        raw = reader->wait(cpi);
+        cube = stap::unpack_slab(p, r_lo, r_hi, raw, ctx.opt.file_layout);
+      });
+      if (cpi + 1 < ctx.opt.cpis && reader->async_capable()) reader->start(cpi + 1);
+    } else {
+      clock.recv([&] {
+        for (int s = 0; s < reads; ++s) {
+          const std::size_t lo =
+              std::max(r_lo, part_read.begin(static_cast<std::size_t>(s)));
+          const std::size_t hi =
+              std::min(r_hi, part_read.end(static_cast<std::size_t>(s)));
+          if (lo >= hi) continue;
+          auto piece = std::span<cfloat>(raw_recv)
+                           .subspan((lo - r_lo) * per_range, (hi - lo) * per_range);
+          ctx.world.recv<cfloat>(ctx.rank_of(TaskKind::kParallelRead, s), kTagRaw,
+                                 piece);
+        }
+        cube = stap::unpack_slab(p, r_lo, r_hi, raw_recv);
+      });
+    }
+
+    stap::DopplerOutput out;
+    clock.comp([&] { out = filter.process(cube); });
+
+    clock.send([&] {
+      auto ship = [&](const stap::BinArray& arr, const BlockPartition& part,
+                      TaskKind dest_kind, int dest_nodes, int tag,
+                      std::size_t send_r_hi) {
+        // send_r_hi limits the shipped ranges (training prefix for WC).
+        for (int n = 0; n < dest_nodes; ++n) {
+          const std::size_t b_lo = part.begin(static_cast<std::size_t>(n));
+          const std::size_t b_hi = part.end(static_cast<std::size_t>(n));
+          if (b_lo >= b_hi) continue;
+          // Intersect my global range window with [0, send_r_hi).
+          if (r_lo >= send_r_hi) continue;
+          const std::size_t local_hi = std::min(r_hi, send_r_hi) - r_lo;
+          pack_bin_slab(arr, b_lo, b_hi, 0, local_hi, pack_buf);
+          ctx.world.send<cfloat>(ctx.rank_of(dest_kind, n), tag, pack_buf);
+        }
+      };
+      ship(out.easy, part_be, TaskKind::kBeamformEasy, n_be, kTagSpecEasy, p.ranges);
+      ship(out.hard, part_bh, TaskKind::kBeamformHard, n_bh, kTagSpecHard, p.ranges);
+      ship(out.easy, part_we, TaskKind::kWeightsEasy, n_we, kTagTrainEasy,
+           p.training_ranges);
+      ship(out.hard, part_wh, TaskKind::kWeightsHard, n_wh, kTagTrainHard,
+           p.training_ranges);
+    });
+  }
+}
+
+// ---------------------------------------------------------- weight nodes --
+
+void run_weights_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
+  const auto& p = ctx.params();
+  const auto ids = hard ? p.hard_bins() : p.easy_bins();
+  const std::size_t dof = hard ? p.hard_dof() : p.easy_dof();
+  const TaskKind self = hard ? TaskKind::kWeightsHard : TaskKind::kWeightsEasy;
+  const TaskKind bf_kind = hard ? TaskKind::kBeamformHard : TaskKind::kBeamformEasy;
+  const int train_tag = hard ? kTagTrainHard : kTagTrainEasy;
+  const int weight_tag = hard ? kTagWeightsHard : kTagWeightsEasy;
+
+  const int n_self = ctx.nodes_of(self);
+  const int n_bf = ctx.nodes_of(bf_kind);
+  const int dops = ctx.nodes_of(TaskKind::kDoppler);
+  const BlockPartition mine(ids.size(), static_cast<std::size_t>(n_self));
+  const BlockPartition bf_part(ids.size(), static_cast<std::size_t>(n_bf));
+  const std::size_t b_lo = mine.begin(static_cast<std::size_t>(ctx.local));
+  const std::size_t b_hi = mine.end(static_cast<std::size_t>(ctx.local));
+  const BlockPartition ranges(p.ranges, static_cast<std::size_t>(dops));
+
+  std::vector<std::size_t> my_ids(ids.begin() + b_lo, ids.begin() + b_hi);
+  stap::WeightComputer wc(p, my_ids, dof, ctx.opt.weight_solver);
+  stap::BinArray training(my_ids.size(), dof, p.training_ranges);
+
+  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+    clock.start_cpi(cpi);
+    if (my_ids.empty()) continue;  // more nodes than bins: idle node
+    clock.recv([&] {
+      for (int d = 0; d < dops; ++d) {
+        const std::size_t r_lo = ranges.begin(static_cast<std::size_t>(d));
+        const std::size_t r_hi =
+            std::min(ranges.end(static_cast<std::size_t>(d)), p.training_ranges);
+        if (r_lo >= r_hi) continue;
+        const auto msg = ctx.world.recv_vector<cfloat>(
+            ctx.rank_of(TaskKind::kDoppler, d), train_tag);
+        unpack_bin_slab(training, r_lo, r_hi, msg);
+      }
+    });
+
+    stap::WeightSet ws;
+    clock.comp([&] { ws = wc.compute(training); });
+
+    clock.send([&] {
+      // Forward each bin's weights to the BF node owning it (temporal edge:
+      // consumed at cpi+1). Group messages per destination.
+      for (int n = 0; n < n_bf; ++n) {
+        const std::size_t lo = std::max(b_lo, bf_part.begin(static_cast<std::size_t>(n)));
+        const std::size_t hi = std::min(b_hi, bf_part.end(static_cast<std::size_t>(n)));
+        if (lo >= hi) continue;
+        std::vector<cfloat> buf;
+        buf.reserve((hi - lo) * p.beams * dof);
+        for (std::size_t b = lo; b < hi; ++b) {
+          for (std::size_t beam = 0; beam < p.beams; ++beam) {
+            const auto w = ws.at(b - b_lo, beam);
+            buf.insert(buf.end(), w.begin(), w.end());
+          }
+        }
+        ctx.world.send<cfloat>(ctx.rank_of(bf_kind, n), weight_tag, buf);
+      }
+    });
+  }
+}
+
+// ------------------------------------------------------- beamform nodes --
+
+void run_beamform_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
+  const auto& p = ctx.params();
+  const auto ids = hard ? p.hard_bins() : p.easy_bins();
+  const std::size_t dof = hard ? p.hard_dof() : p.easy_dof();
+  const TaskKind self = hard ? TaskKind::kBeamformHard : TaskKind::kBeamformEasy;
+  const TaskKind wc_kind = hard ? TaskKind::kWeightsHard : TaskKind::kWeightsEasy;
+  const int spec_tag = hard ? kTagSpecHard : kTagSpecEasy;
+  const int weight_tag = hard ? kTagWeightsHard : kTagWeightsEasy;
+  const int beam_tag = hard ? kTagBeamHard : kTagBeamEasy;
+
+  const int n_self = ctx.nodes_of(self);
+  const int n_wc = ctx.nodes_of(wc_kind);
+  const int dops = ctx.nodes_of(TaskKind::kDoppler);
+  const TaskKind pc_kind = ctx.spec.combined_pc_cfar ? TaskKind::kPulseCompressionCfar
+                                                     : TaskKind::kPulseCompression;
+  const int n_pc = ctx.nodes_of(pc_kind);
+
+  const BlockPartition mine(ids.size(), static_cast<std::size_t>(n_self));
+  const BlockPartition wc_part(ids.size(), static_cast<std::size_t>(n_wc));
+  const BlockPartition ranges(p.ranges, static_cast<std::size_t>(dops));
+  const BlockPartition pc_part(p.doppler_bins(), static_cast<std::size_t>(n_pc));
+  const std::size_t b_lo = mine.begin(static_cast<std::size_t>(ctx.local));
+  const std::size_t b_hi = mine.end(static_cast<std::size_t>(ctx.local));
+  std::vector<std::size_t> my_ids(ids.begin() + b_lo, ids.begin() + b_hi);
+
+  stap::Beamformer bf(p);
+  stap::WeightComputer wc(p, my_ids, dof);  // steering oracle for CPI 0
+  stap::WeightSet current =
+      my_ids.empty() ? stap::WeightSet{} : default_weights(wc, my_ids, p, dof);
+  stap::BinArray spectra(my_ids.size(), dof, p.ranges);
+
+  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+    clock.start_cpi(cpi);
+    if (my_ids.empty()) continue;
+    clock.recv([&] {
+      // Spectra of the current CPI from every Doppler node.
+      for (int d = 0; d < dops; ++d) {
+        const std::size_t r_lo = ranges.begin(static_cast<std::size_t>(d));
+        const std::size_t r_hi = ranges.end(static_cast<std::size_t>(d));
+        if (r_lo >= r_hi) continue;
+        const auto msg =
+            ctx.world.recv_vector<cfloat>(ctx.rank_of(TaskKind::kDoppler, d), spec_tag);
+        unpack_bin_slab(spectra, r_lo, r_hi, msg);
+      }
+      // Weights computed from the previous CPI (none at cpi 0).
+      if (cpi >= 1) {
+        for (int n = 0; n < n_wc; ++n) {
+          const std::size_t lo =
+              std::max(b_lo, wc_part.begin(static_cast<std::size_t>(n)));
+          const std::size_t hi = std::min(b_hi, wc_part.end(static_cast<std::size_t>(n)));
+          if (lo >= hi) continue;
+          const auto msg = ctx.world.recv_vector<cfloat>(ctx.rank_of(wc_kind, n),
+                                                         weight_tag);
+          PSTAP_CHECK(msg.size() == (hi - lo) * p.beams * dof,
+                      "weight message size mismatch");
+          std::size_t idx = 0;
+          for (std::size_t b = lo; b < hi; ++b) {
+            for (std::size_t beam = 0; beam < p.beams; ++beam) {
+              auto w = current.at(b - b_lo, beam);
+              for (std::size_t x = 0; x < dof; ++x) w[x] = msg[idx++];
+            }
+          }
+        }
+      }
+    });
+
+    stap::BeamArray out;
+    clock.comp([&] { out = bf.apply(spectra, current); });
+
+    clock.send([&] {
+      // Route each absolute bin's (beams x ranges) block to its PC owner.
+      for (int n = 0; n < n_pc; ++n) {
+        std::vector<cfloat> buf;
+        for (std::size_t b = 0; b < my_ids.size(); ++b) {
+          if (pc_part.owner(my_ids[b]) != static_cast<std::size_t>(n)) continue;
+          for (std::size_t beam = 0; beam < p.beams; ++beam) {
+            const auto row = out.range_series(b, beam);
+            buf.insert(buf.end(), row.begin(), row.end());
+          }
+        }
+        if (buf.empty()) continue;
+        ctx.world.send<cfloat>(ctx.rank_of(pc_kind, n), beam_tag, buf);
+      }
+    });
+  }
+}
+
+// --------------------------------------------- PC / CFAR / combined nodes --
+
+/// The absolute bins task-local node `local` owns under `part`, split by
+/// easy/hard origin (which BF task ships them).
+struct RowPlan {
+  std::vector<std::size_t> bins;       // absolute, ascending
+  std::vector<std::size_t> easy_bins;  // subset that comes from easy BF
+  std::vector<std::size_t> hard_bins;  // subset from hard BF
+};
+
+RowPlan make_row_plan(const stap::RadarParams& p, const BlockPartition& part,
+                      int local) {
+  RowPlan plan;
+  const std::size_t lo = part.begin(static_cast<std::size_t>(local));
+  const std::size_t hi = part.end(static_cast<std::size_t>(local));
+  for (std::size_t b = lo; b < hi; ++b) {
+    plan.bins.push_back(b);
+    (p.is_hard_bin(b) ? plan.hard_bins : plan.easy_bins).push_back(b);
+  }
+  return plan;
+}
+
+/// Receive the (bins x beams x ranges) rows this node owns from the BF
+/// (or PC) senders that hold them.
+void receive_rows(NodeCtx& ctx, stap::BeamArray& rows, const RowPlan& plan,
+                  TaskKind sender_kind, int tag, bool sender_is_bf_easy,
+                  bool sender_is_bf_hard) {
+  const auto& p = ctx.params();
+  const int senders = ctx.nodes_of(sender_kind);
+  // Build, per sender, the ascending list of my bins that sender owns; the
+  // sender packs them in the same order.
+  const auto easy_ids = p.easy_bins();
+  const auto hard_ids = p.hard_bins();
+
+  auto local_index_of = [&](const std::vector<std::size_t>& ids, std::size_t bin) {
+    const auto it = std::lower_bound(ids.begin(), ids.end(), bin);
+    PSTAP_CHECK(it != ids.end() && *it == bin, "bin not in id list");
+    return static_cast<std::size_t>(it - ids.begin());
+  };
+  auto bin_slot = [&](std::size_t bin) {
+    const auto it = std::lower_bound(plan.bins.begin(), plan.bins.end(), bin);
+    return static_cast<std::size_t>(it - plan.bins.begin());
+  };
+
+  for (int s = 0; s < senders; ++s) {
+    std::vector<std::size_t> from_this_sender;
+    if (sender_is_bf_easy || sender_is_bf_hard) {
+      const auto& ids = sender_is_bf_easy ? easy_ids : hard_ids;
+      const auto& my = sender_is_bf_easy ? plan.easy_bins : plan.hard_bins;
+      const BlockPartition sp(ids.size(),
+                              static_cast<std::size_t>(ctx.nodes_of(sender_kind)));
+      for (const std::size_t bin : my) {
+        if (sp.owner(local_index_of(ids, bin)) == static_cast<std::size_t>(s)) {
+          from_this_sender.push_back(bin);
+        }
+      }
+    } else {
+      // Sender partitions the full bin space (PC -> CFAR).
+      const BlockPartition sp(p.doppler_bins(),
+                              static_cast<std::size_t>(ctx.nodes_of(sender_kind)));
+      for (const std::size_t bin : plan.bins) {
+        if (sp.owner(bin) == static_cast<std::size_t>(s)) from_this_sender.push_back(bin);
+      }
+    }
+    if (from_this_sender.empty()) continue;
+    const auto msg =
+        ctx.world.recv_vector<cfloat>(ctx.rank_of(sender_kind, s), tag);
+    PSTAP_CHECK(msg.size() == from_this_sender.size() * p.beams * p.ranges,
+                "row message size mismatch");
+    std::size_t idx = 0;
+    for (const std::size_t bin : from_this_sender) {
+      const std::size_t slot = bin_slot(bin);
+      for (std::size_t beam = 0; beam < p.beams; ++beam) {
+        auto row = rows.range_series(slot, beam);
+        for (std::size_t r = 0; r < p.ranges; ++r) row[r] = msg[idx++];
+      }
+    }
+  }
+}
+
+void run_pc_node(NodeCtx& ctx, PhaseClock& clock) {
+  const auto& p = ctx.params();
+  const int n_pc = ctx.nodes_of(TaskKind::kPulseCompression);
+  const int n_cfar = ctx.nodes_of(TaskKind::kCfar);
+  const BlockPartition mine(p.doppler_bins(), static_cast<std::size_t>(n_pc));
+  const BlockPartition cfar_part(p.doppler_bins(), static_cast<std::size_t>(n_cfar));
+  const RowPlan plan = make_row_plan(p, mine, ctx.local);
+
+  stap::PulseCompressor pc(p);
+  stap::BeamArray rows(plan.bins.size(), p.beams, p.ranges);
+
+  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+    clock.start_cpi(cpi);
+    if (plan.bins.empty()) continue;
+    clock.recv([&] {
+      receive_rows(ctx, rows, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true, false);
+      receive_rows(ctx, rows, plan, TaskKind::kBeamformHard, kTagBeamHard, false, true);
+    });
+    clock.comp([&] { pc.compress(rows); });
+    clock.send([&] {
+      for (int n = 0; n < n_cfar; ++n) {
+        std::vector<cfloat> buf;
+        for (std::size_t b = 0; b < plan.bins.size(); ++b) {
+          if (cfar_part.owner(plan.bins[b]) != static_cast<std::size_t>(n)) continue;
+          for (std::size_t beam = 0; beam < p.beams; ++beam) {
+            const auto row = rows.range_series(b, beam);
+            buf.insert(buf.end(), row.begin(), row.end());
+          }
+        }
+        if (buf.empty()) continue;
+        ctx.world.send<cfloat>(ctx.rank_of(TaskKind::kCfar, n), kTagPcOut, buf);
+      }
+    });
+  }
+}
+
+void run_cfar_node(NodeCtx& ctx, PhaseClock& clock, int my_world_rank) {
+  const auto& p = ctx.params();
+  const int n_cfar = ctx.nodes_of(TaskKind::kCfar);
+  const BlockPartition mine(p.doppler_bins(), static_cast<std::size_t>(n_cfar));
+  const RowPlan plan = make_row_plan(p, mine, ctx.local);
+
+  stap::CfarDetector cfar(p);
+  stap::BeamArray rows(plan.bins.size(), p.beams, p.ranges);
+  auto& sink = ctx.results->detections[static_cast<std::size_t>(my_world_rank)];
+
+  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+    clock.start_cpi(cpi);
+    if (plan.bins.empty()) continue;
+    clock.recv([&] {
+      receive_rows(ctx, rows, plan, TaskKind::kPulseCompression, kTagPcOut, false,
+                   false);
+    });
+    clock.comp([&] {
+      auto dets = cfar.detect(rows, plan.bins);
+      for (auto& d : dets) d.cpi = static_cast<std::uint64_t>(cpi);
+      sink.insert(sink.end(), dets.begin(), dets.end());
+    });
+    clock.send([] {});
+  }
+}
+
+void run_pccfar_node(NodeCtx& ctx, PhaseClock& clock, int my_world_rank) {
+  const auto& p = ctx.params();
+  const int n_pc = ctx.nodes_of(TaskKind::kPulseCompressionCfar);
+  const BlockPartition mine(p.doppler_bins(), static_cast<std::size_t>(n_pc));
+  const RowPlan plan = make_row_plan(p, mine, ctx.local);
+
+  stap::PulseCompressor pc(p);
+  stap::CfarDetector cfar(p);
+  stap::BeamArray rows(plan.bins.size(), p.beams, p.ranges);
+  auto& sink = ctx.results->detections[static_cast<std::size_t>(my_world_rank)];
+
+  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+    clock.start_cpi(cpi);
+    if (plan.bins.empty()) continue;
+    clock.recv([&] {
+      receive_rows(ctx, rows, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true, false);
+      receive_rows(ctx, rows, plan, TaskKind::kBeamformHard, kTagBeamHard, false, true);
+    });
+    clock.comp([&] {
+      pc.compress(rows);
+      auto dets = cfar.detect(rows, plan.bins);
+      for (auto& d : dets) d.cpi = static_cast<std::uint64_t>(cpi);
+      sink.insert(sink.end(), dets.begin(), dets.end());
+    });
+    clock.send([] {});
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- ThreadRunner --
+
+ThreadRunner::ThreadRunner(PipelineSpec spec, RunOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {
+  spec_.validate();
+  PSTAP_REQUIRE(options_.cpis >= 1, "need at least one CPI");
+  PSTAP_REQUIRE(options_.warmup >= 0 && options_.warmup < options_.cpis,
+                "warmup must leave at least one timed CPI");
+  PSTAP_REQUIRE(!options_.fs_root.empty(), "fs_root must be set");
+  PSTAP_REQUIRE(options_.round_robin_files >= 1, "need at least one data file");
+  PSTAP_REQUIRE(options_.file_layout == stap::FileLayout::kRangeMajor ||
+                    spec_.io == IoStrategy::kEmbedded,
+                "pulse-major files are supported with embedded I/O only");
+  PSTAP_REQUIRE(!options_.collective_io ||
+                    (spec_.io == IoStrategy::kEmbedded &&
+                     options_.file_layout == stap::FileLayout::kPulseMajor),
+                "collective I/O applies to embedded reads of pulse-major files");
+}
+
+RunResult ThreadRunner::run() {
+  const auto& p = spec_.params;
+
+  // --- The radar side: write the round-robin CPI files. ---
+  pfs::StripedFileSystem fs(options_.fs_root, options_.fs_config);
+  {
+    stap::SceneGenerator gen(p, options_.scene, options_.seed);
+    for (std::size_t f = 0; f < options_.round_robin_files; ++f) {
+      stap::write_cpi(fs, stap::round_robin_name(f, options_.round_robin_files),
+                      gen.generate(f), options_.file_layout);
+    }
+  }
+
+  const Assignment assign(spec_);
+  const int total = spec_.total_nodes();
+  SharedResults results;
+  results.avg_phase.resize(static_cast<std::size_t>(total));
+  results.detections.resize(static_cast<std::size_t>(total));
+
+  mp::World world(total);
+  world.run([&](mp::Comm& comm) {
+    const auto [task, local] = assign.locate(comm.rank());
+    NodeCtx ctx{spec_, options_, assign, comm, fs, task, local, &results};
+    PhaseClock clock(options_, results.avg_phase[static_cast<std::size_t>(comm.rank())]);
+    switch (spec_.tasks[static_cast<std::size_t>(task)].kind) {
+      case TaskKind::kParallelRead: run_read_node(ctx, clock); break;
+      case TaskKind::kDoppler: run_doppler_node(ctx, clock); break;
+      case TaskKind::kWeightsEasy: run_weights_node(ctx, clock, false); break;
+      case TaskKind::kWeightsHard: run_weights_node(ctx, clock, true); break;
+      case TaskKind::kBeamformEasy: run_beamform_node(ctx, clock, false); break;
+      case TaskKind::kBeamformHard: run_beamform_node(ctx, clock, true); break;
+      case TaskKind::kPulseCompression: run_pc_node(ctx, clock); break;
+      case TaskKind::kCfar: run_cfar_node(ctx, clock, comm.rank()); break;
+      case TaskKind::kPulseCompressionCfar:
+        run_pccfar_node(ctx, clock, comm.rank());
+        break;
+    }
+    clock.finish();
+  });
+
+  // --- Aggregate: per task, report the slowest node's phases. ---
+  RunResult result;
+  result.timed_cpis = options_.cpis - options_.warmup;
+  for (std::size_t t = 0; t < spec_.tasks.size(); ++t) {
+    TaskTiming timing;
+    timing.kind = spec_.tasks[t].kind;
+    timing.nodes = spec_.tasks[t].nodes;
+    Seconds worst = -1;
+    for (int n = 0; n < spec_.tasks[t].nodes; ++n) {
+      const Phase& ph =
+          results.avg_phase[static_cast<std::size_t>(assign.world_rank(
+              static_cast<int>(t), n))];
+      const Seconds tot = ph.recv + ph.comp + ph.send;
+      if (tot > worst) {
+        worst = tot;
+        timing.receive = ph.recv;
+        timing.compute = ph.comp;
+        timing.send = ph.send;
+      }
+    }
+    result.metrics.tasks.push_back(timing);
+  }
+  for (auto& per_rank : results.detections) {
+    result.detections.insert(result.detections.end(), per_rank.begin(),
+                             per_rank.end());
+  }
+  std::sort(result.detections.begin(), result.detections.end(),
+            [](const stap::Detection& a, const stap::Detection& b) {
+              return std::tie(a.cpi, a.bin, a.beam, a.range) <
+                     std::tie(b.cpi, b.bin, b.beam, b.range);
+            });
+
+  // Output side: persist the fused reports as one log block per CPI.
+  if (!options_.detection_log.empty()) {
+    stap::DetectionLogWriter log(fs, options_.detection_log);
+    auto it = result.detections.begin();
+    for (int cpi = 0; cpi < options_.cpis; ++cpi) {
+      auto end = it;
+      while (end != result.detections.end() &&
+             end->cpi == static_cast<std::uint64_t>(cpi)) {
+        ++end;
+      }
+      std::span<const stap::Detection> block;
+      if (it != end) block = {&*it, static_cast<std::size_t>(end - it)};
+      log.append(static_cast<std::uint64_t>(cpi), block);
+      it = end;
+    }
+  }
+  return result;
+}
+
+}  // namespace pstap::pipeline

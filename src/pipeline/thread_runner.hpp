@@ -1,0 +1,81 @@
+// ThreadRunner: functional execution of a PipelineSpec.
+//
+// Every node of the paper's machine becomes an mp thread-rank running the
+// real STAP kernels on real striped files: the Doppler task (or the
+// separate parallel-read task) reads its exclusive file region per CPI —
+// asynchronously prefetching the next CPI where the file system supports
+// it — and the stages exchange data slices exactly along the paper's
+// spatial/temporal dependency edges. The result carries both the fused
+// detection reports (for correctness checks) and per-task phase timings
+// (receive / compute / send, averaged over the timed CPIs).
+//
+// Wall-clock numbers from this backend reflect the host, not the paper's
+// machines — the reproduced tables come from sim::SimRunner. This backend
+// exists to prove the pipeline organizations *work* end to end.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "pfs/striped_file_system.hpp"
+#include "pipeline/metrics.hpp"
+#include "pipeline/task_spec.hpp"
+#include "stap/cfar.hpp"
+#include "stap/cube_io.hpp"
+#include "stap/scene.hpp"
+#include "stap/weights.hpp"
+
+namespace pstap::pipeline {
+
+struct RunOptions {
+  int cpis = 4;        ///< CPIs pushed through the pipeline
+  int warmup = 1;      ///< leading CPIs excluded from the timing averages
+  std::uint64_t seed = 1;
+  stap::SceneConfig scene;
+  std::filesystem::path fs_root;            ///< striped file system mount point
+  pfs::PfsConfig fs_config;                 ///< defaults to paragon_pfs(4)
+  std::size_t round_robin_files = 4;        ///< the paper's 4-file rotation
+
+  /// On-disk CPI element order. kPulseMajor (an ADC streaming order) makes
+  /// per-node slab reads strided; supported for embedded I/O only.
+  stap::FileLayout file_layout = stap::FileLayout::kRangeMajor;
+
+  /// With kPulseMajor + embedded I/O: use the two-phase collective read
+  /// (conforming reads + interconnect redistribution) instead of per-node
+  /// strided gather reads.
+  bool collective_io = false;
+
+  /// If non-empty, the fused detection reports are written back to the
+  /// striped file system as a detection log of this name (one block per
+  /// CPI; see stap::DetectionLogWriter) — the pipeline's output side.
+  std::string detection_log;
+
+  /// Numerical route used by the weight-computation tasks.
+  stap::WeightSolver weight_solver = stap::WeightSolver::kCholeskySmi;
+
+  RunOptions() : fs_config(pfs::paragon_pfs(4)) {}
+};
+
+struct RunResult {
+  PipelineMetrics metrics;                  ///< per-task phase times (averaged)
+  std::vector<stap::Detection> detections;  ///< all CPIs, cpi field filled
+  int timed_cpis = 0;
+};
+
+class ThreadRunner {
+ public:
+  ThreadRunner(PipelineSpec spec, RunOptions options);
+
+  /// Write the round-robin CPI files (the radar side), spin up one thread
+  /// per node, run options.cpis CPIs through the pipeline and collect
+  /// timings and detections. May be called repeatedly.
+  RunResult run();
+
+  const PipelineSpec& spec() const noexcept { return spec_; }
+
+ private:
+  PipelineSpec spec_;
+  RunOptions options_;
+};
+
+}  // namespace pstap::pipeline

@@ -1,0 +1,170 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pstap::sim {
+
+using pipeline::TaskKind;
+
+CostModel::CostModel(pipeline::PipelineSpec spec, MachineModel machine)
+    : spec_(std::move(spec)), machine_(std::move(machine)), work_(spec_.params) {
+  spec_.validate();
+  PSTAP_REQUIRE(machine_.node_flops > 0 && machine_.network_bandwidth > 0 &&
+                    machine_.io_server_bandwidth > 0 && machine_.stripe_factor >= 1,
+                "machine model rates must be positive");
+}
+
+Seconds CostModel::io_read_time(int nodes) const {
+  const double bytes = work_.cpi_file_bytes();
+  const double servers = static_cast<double>(machine_.stripe_factor);
+  const double chunks = std::ceil(bytes / static_cast<double>(machine_.stripe_unit));
+  // Server side: stripe units are spread round-robin, so each stripe
+  // directory services ~chunks/servers requests of ~stripe_unit bytes.
+  const double per_server_chunks = std::ceil(chunks / servers);
+  const double per_server_bytes = bytes / servers;
+  const Seconds server_side = per_server_chunks * machine_.io_chunk_latency +
+                              per_server_bytes / machine_.io_server_bandwidth;
+  // Client side: each of the P reading nodes pulls bytes/P over its link.
+  const Seconds client_side =
+      (bytes / static_cast<double>(nodes)) / machine_.network_bandwidth;
+  return std::max(server_side, client_side);
+}
+
+Seconds CostModel::net_time(double bytes, int nodes, int peers) const {
+  if (bytes <= 0) return 0;
+  const double per_node = bytes / static_cast<double>(nodes);
+  return static_cast<double>(std::max(peers, 1)) * machine_.network_latency +
+         per_node / machine_.network_bandwidth;
+}
+
+namespace {
+Seconds overhead(const MachineModel& m, int nodes) {
+  return m.overhead_per_log2 * std::log2(static_cast<double>(nodes) + 1.0);
+}
+}  // namespace
+
+StageCost CostModel::cost(std::size_t index) const {
+  PSTAP_REQUIRE(index < spec_.tasks.size(), "task index out of range");
+  const pipeline::TaskSpec& task = spec_.tasks[index];
+  const int p = task.nodes;
+
+  auto nodes_of = [&](TaskKind kind) {
+    const int i = spec_.find(kind);
+    return i < 0 ? 0 : spec_.tasks[static_cast<std::size_t>(i)].nodes;
+  };
+  const int n_read = nodes_of(TaskKind::kParallelRead);
+  const int n_dop = nodes_of(TaskKind::kDoppler);
+  const int n_we = nodes_of(TaskKind::kWeightsEasy);
+  const int n_wh = nodes_of(TaskKind::kWeightsHard);
+  const int n_be = nodes_of(TaskKind::kBeamformEasy);
+  const int n_bh = nodes_of(TaskKind::kBeamformHard);
+  const int n_pc_like = spec_.combined_pc_cfar
+                            ? nodes_of(TaskKind::kPulseCompressionCfar)
+                            : nodes_of(TaskKind::kPulseCompression);
+  const int n_cfar = nodes_of(TaskKind::kCfar);
+
+  StageCost c;
+  c.kind = task.kind;
+  c.nodes = p;
+
+  const auto fill_compute = [&](const stap::TaskWork& w) {
+    const double f = machine_.serial_fraction;
+    c.compute = w.flops * (1.0 - f) / (static_cast<double>(p) * machine_.node_flops) +
+                w.flops * f / machine_.node_flops + overhead(machine_, p);
+  };
+
+  switch (task.kind) {
+    case TaskKind::kParallelRead: {
+      const auto w = work_.parallel_read();
+      c.io = io_read_time(p);
+      c.compute = overhead(machine_, p);
+      c.send = net_time(w.out_bytes, p, n_dop);
+      if (machine_.async_io) {
+        // The next CPI's read overlaps forwarding of the current one; the
+        // reported receive phase is the residual wait.
+        c.occupancy = std::max(c.io, c.compute + c.send);
+        c.receive = std::max<Seconds>(c.io - (c.compute + c.send), 0);
+      } else {
+        c.occupancy = c.io + c.compute + c.send;
+        c.receive = c.io;
+      }
+      return c;
+    }
+    case TaskKind::kDoppler: {
+      const auto w = work_.doppler();
+      fill_compute(w);
+      c.send = net_time(w.out_bytes, p, n_be + n_bh + n_we + n_wh);
+      if (spec_.io == pipeline::IoStrategy::kEmbedded) {
+        c.io = io_read_time(p);
+        if (machine_.async_io) {
+          c.occupancy = std::max(c.io, c.compute + c.send);
+          c.receive = std::max<Seconds>(c.io - (c.compute + c.send), 0);
+        } else {
+          c.occupancy = c.io + c.compute + c.send;
+          c.receive = c.io;
+        }
+      } else {
+        c.receive = net_time(w.in_bytes, p, n_read);
+        c.occupancy = c.receive + c.compute + c.send;
+      }
+      return c;
+    }
+    case TaskKind::kWeightsEasy:
+    case TaskKind::kWeightsHard: {
+      const auto w = task.kind == TaskKind::kWeightsEasy ? work_.weights_easy()
+                                                         : work_.weights_hard();
+      const int n_bf = task.kind == TaskKind::kWeightsEasy ? n_be : n_bh;
+      fill_compute(w);
+      c.receive = net_time(w.in_bytes, p, n_dop);
+      c.send = net_time(w.out_bytes, p, n_bf);
+      c.occupancy = c.total();
+      return c;
+    }
+    case TaskKind::kBeamformEasy:
+    case TaskKind::kBeamformHard: {
+      const bool easy = task.kind == TaskKind::kBeamformEasy;
+      const auto w = easy ? work_.beamform_easy() : work_.beamform_hard();
+      const int n_wc = easy ? n_we : n_wh;
+      fill_compute(w);
+      c.receive = net_time(w.in_bytes, p, n_dop + n_wc);
+      c.send = net_time(w.out_bytes, p, n_pc_like);
+      c.occupancy = c.total();
+      return c;
+    }
+    case TaskKind::kPulseCompression: {
+      const auto w = work_.pulse_compression();
+      fill_compute(w);
+      c.receive = net_time(w.in_bytes, p, n_be + n_bh);
+      c.send = net_time(w.out_bytes, p, n_cfar);
+      c.occupancy = c.total();
+      return c;
+    }
+    case TaskKind::kCfar: {
+      const auto w = work_.cfar();
+      fill_compute(w);
+      c.receive = net_time(w.in_bytes, p, n_pc_like);
+      c.send = net_time(w.out_bytes, p, 1);  // detection reports to the sink
+      c.occupancy = c.total();
+      return c;
+    }
+    case TaskKind::kPulseCompressionCfar: {
+      const auto w = work_.pulse_compression_cfar();
+      fill_compute(w);
+      c.receive = net_time(w.in_bytes, p, n_be + n_bh);
+      c.send = net_time(w.out_bytes, p, 1);
+      c.occupancy = c.total();
+      return c;
+    }
+  }
+  PSTAP_FAIL("unhandled task kind");
+}
+
+std::vector<StageCost> CostModel::all() const {
+  std::vector<StageCost> costs;
+  costs.reserve(spec_.tasks.size());
+  for (std::size_t i = 0; i < spec_.tasks.size(); ++i) costs.push_back(cost(i));
+  return costs;
+}
+
+}  // namespace pstap::sim

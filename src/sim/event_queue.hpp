@@ -1,0 +1,71 @@
+// Discrete-event simulation core: a deterministic time-ordered event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pstap::sim {
+
+/// Deterministic event queue. Events at equal timestamps fire in insertion
+/// order (a monotone sequence number breaks ties), so simulations are
+/// exactly reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  Seconds now() const noexcept { return now_; }
+
+  /// Schedule `cb` at absolute time `when` (>= now()).
+  void schedule_at(Seconds when, Callback cb) {
+    PSTAP_REQUIRE(when >= now_, "cannot schedule an event in the past");
+    heap_.push(Event{when, seq_++, std::move(cb)});
+  }
+
+  /// Schedule `cb` `delay` seconds from now (delay >= 0).
+  void schedule_in(Seconds delay, Callback cb) {
+    PSTAP_REQUIRE(delay >= 0, "negative delay");
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Pop and execute the next event; returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Move the event out before executing: the callback may schedule more.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb();
+    return true;
+  }
+
+  /// Run until the queue drains or `max_events` fired.
+  std::size_t run(std::size_t max_events = SIZE_MAX) {
+    std::size_t fired = 0;
+    while (fired < max_events && step()) ++fired;
+    return fired;
+  }
+
+ private:
+  struct Event {
+    Seconds when;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Seconds now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pstap::sim

@@ -1,0 +1,33 @@
+#include "sim/machine.hpp"
+
+namespace pstap::sim {
+
+MachineModel paragon_like(std::size_t stripe_factor) {
+  MachineModel m;
+  m.name = "paragon-pfs" + std::to_string(stripe_factor);
+  m.node_flops = 50e6;          // i860 sustained
+  m.network_latency = 100e-6;   // NX message setup
+  m.network_bandwidth = 40e6;   // sustained mesh link share per node
+  m.stripe_factor = stripe_factor;
+  m.stripe_unit = 64 * KiB;
+  m.io_server_bandwidth = 6e6;  // RAID-backed PFS stripe directory
+  m.io_chunk_latency = 1e-3;
+  m.async_io = true;            // gopen + M_ASYNC, iread/ireadoff
+  return m;
+}
+
+MachineModel sp_like(std::size_t stripe_factor) {
+  MachineModel m;
+  m.name = "sp-piofs" + std::to_string(stripe_factor);
+  m.node_flops = 200e6;         // P2SC nodes, ~4x the Paragon
+  m.network_latency = 40e-6;    // SP switch
+  m.network_bandwidth = 35e6;
+  m.stripe_factor = stripe_factor;
+  m.stripe_unit = 64 * KiB;
+  m.io_server_bandwidth = 6e6;
+  m.io_chunk_latency = 1e-3;
+  m.async_io = false;           // PIOFS has no asynchronous read API
+  return m;
+}
+
+}  // namespace pstap::sim

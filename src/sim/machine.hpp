@@ -1,0 +1,56 @@
+// Machine models: the simulated stand-ins for the paper's testbeds.
+//
+// The paper measured a ~100-node Intel Paragon (Caltech) with two PFS
+// instances (small and large stripe factor, asynchronous reads) and an IBM
+// SP (ANL) with PIOFS (80 striped slices, synchronous-only reads, ~4x
+// faster CPUs). Neither machine exists anymore; these models capture the
+// rate parameters the paper's effects depend on (see DESIGN.md for the
+// substitution argument). Rates are sustained-per-node figures typical of
+// the era, not peaks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pstap::sim {
+
+struct MachineModel {
+  std::string name;
+
+  // --- compute ---
+  double node_flops = 50e6;  ///< sustained real flops per node per second
+
+  // --- interconnect (per node link) ---
+  double network_latency = 100e-6;     ///< per-message setup, seconds
+  double network_bandwidth = 40e6;     ///< bytes/s in or out of one node
+
+  // --- parallel file system ---
+  std::size_t stripe_factor = 16;      ///< I/O servers (stripe directories)
+  std::size_t stripe_unit = 64 * KiB;  ///< striping granularity
+  double io_server_bandwidth = 6e6;    ///< bytes/s per I/O server
+  double io_chunk_latency = 1e-3;      ///< per stripe-unit request overhead
+  bool async_io = true;                ///< can reads overlap compute/comm?
+
+  // --- parallelization overhead V_i (paper eq. 6) ---
+  /// V_i = overhead_per_log2 * log2(P_i + 1): synchronization and residual
+  /// load imbalance grow slowly with the node count.
+  double overhead_per_log2 = 0.5e-3;
+
+  /// Amdahl serial fraction of each task's work: T_comp = W*(1-f)/(P*rate)
+  /// + W*f/rate. This is the "scalability of the parallelization tends to
+  /// decrease when more processors are used" effect the paper cites to
+  /// explain why the task-combination gain shrinks at higher node counts.
+  double serial_fraction = 3e-3;
+};
+
+/// Caltech-Paragon-like machine with a configurable PFS stripe factor
+/// (the paper tests 16 and 64).
+MachineModel paragon_like(std::size_t stripe_factor);
+
+/// ANL-SP-like machine: ~4x faster nodes, faster switch, PIOFS with 80
+/// slices but no asynchronous read API.
+MachineModel sp_like(std::size_t stripe_factor = 80);
+
+}  // namespace pstap::sim

@@ -1,0 +1,30 @@
+#include "stap/beamform.hpp"
+
+namespace pstap::stap {
+
+BeamArray Beamformer::apply(const BinArray& spectra, const WeightSet& weights) const {
+  PSTAP_REQUIRE(weights.bins() == spectra.bins(), "weights/spectra bin mismatch");
+  PSTAP_REQUIRE(weights.dof() == spectra.dof(), "weights/spectra dof mismatch");
+  PSTAP_REQUIRE(weights.beams() == params_.beams, "weights beam count mismatch");
+
+  const std::size_t bins = spectra.bins();
+  const std::size_t dof = spectra.dof();
+  const std::size_t nr = spectra.ranges();
+  BeamArray out(bins, params_.beams, nr);
+
+  for (std::size_t b = 0; b < bins; ++b) {
+    for (std::size_t beam = 0; beam < params_.beams; ++beam) {
+      const auto w = weights.at(b, beam);
+      auto y = out.range_series(b, beam);
+      // Accumulate conj(w_d) * x_d over DOF, vectorizing along range.
+      for (std::size_t d = 0; d < dof; ++d) {
+        const cfloat wc = std::conj(w[d]);
+        const auto x = spectra.range_series(b, d);
+        for (std::size_t r = 0; r < nr; ++r) y[r] += wc * x[r];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pstap::stap

@@ -1,0 +1,92 @@
+#include "stap/cfar.hpp"
+
+#include <cmath>
+
+namespace pstap::stap {
+
+CfarDetector::CfarDetector(const RadarParams& params) : params_(params) {
+  params_.validate();
+  const double t = static_cast<double>(2 * params_.cfar_training);
+  alpha_ = t * (std::pow(params_.cfar_pfa, -1.0 / t) - 1.0);
+}
+
+namespace {
+
+struct Hit {
+  std::size_t range;
+  double threshold;
+};
+
+/// CA-CFAR over one power series using prefix sums; emits cells whose power
+/// exceeds alpha * mean(training cells). Edge cells use whichever training
+/// cells exist (one-sided near the boundaries).
+void detect_power_series(std::span<const double> power, std::size_t train,
+                         std::size_t guard, double alpha, std::vector<Hit>& hits) {
+  const std::size_t n = power.size();
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + power[i];
+  const auto window_sum = [&](std::size_t lo, std::size_t hi) {  // [lo, hi)
+    return prefix[hi] - prefix[lo];
+  };
+
+  for (std::size_t r = 0; r < n; ++r) {
+    // Leading training cells: [r - guard - train, r - guard)
+    const std::size_t lead_hi = r > guard ? r - guard : 0;
+    const std::size_t lead_lo = lead_hi > train ? lead_hi - train : 0;
+    // Lagging training cells: (r + guard, r + guard + train]
+    const std::size_t lag_lo = std::min(n, r + guard + 1);
+    const std::size_t lag_hi = std::min(n, r + guard + 1 + train);
+
+    const std::size_t cells = (lead_hi - lead_lo) + (lag_hi - lag_lo);
+    if (cells == 0) continue;  // degenerate window (tiny n)
+    const double noise =
+        (window_sum(lead_lo, lead_hi) + window_sum(lag_lo, lag_hi)) /
+        static_cast<double>(cells);
+    const double threshold = alpha * noise;
+    if (power[r] > threshold) hits.push_back({r, threshold});
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> CfarDetector::detect_series(
+    std::span<const cfloat> series) const {
+  std::vector<double> power(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) power[i] = std::norm(series[i]);
+  std::vector<Hit> hits;
+  detect_power_series(power, params_.cfar_training, params_.cfar_guard, alpha_, hits);
+  std::vector<std::size_t> out;
+  out.reserve(hits.size());
+  for (const Hit& h : hits) out.push_back(h.range);
+  return out;
+}
+
+std::vector<Detection> CfarDetector::detect(
+    const BeamArray& beams, std::span<const std::size_t> bin_ids) const {
+  PSTAP_REQUIRE(bin_ids.size() == beams.bins(), "bin_ids size must match bins");
+  std::vector<Detection> out;
+  std::vector<double> power(beams.ranges());
+  std::vector<Hit> hits;
+
+  for (std::size_t b = 0; b < beams.bins(); ++b) {
+    for (std::size_t beam = 0; beam < beams.beams(); ++beam) {
+      const auto y = beams.range_series(b, beam);
+      for (std::size_t r = 0; r < y.size(); ++r) power[r] = std::norm(y[r]);
+      hits.clear();
+      detect_power_series(power, params_.cfar_training, params_.cfar_guard, alpha_,
+                          hits);
+      for (const Hit& h : hits) {
+        Detection d;
+        d.bin = static_cast<std::uint32_t>(bin_ids[b]);
+        d.beam = static_cast<std::uint32_t>(beam);
+        d.range = static_cast<std::uint32_t>(h.range);
+        d.power = static_cast<float>(power[h.range]);
+        d.threshold = static_cast<float>(h.threshold);
+        out.push_back(d);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pstap::stap

@@ -1,0 +1,49 @@
+// CFAR detection (pipeline task 7).
+//
+// Cell-averaging CFAR along the range dimension of every (Doppler bin,
+// beam): the noise level at each cell is estimated from `cfar_training`
+// cells per side, separated by `cfar_guard` guard cells; the threshold
+// multiplier is set from the configured false-alarm probability. The
+// output detection reports are the pipeline's final product.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stap/data_cube.hpp"
+#include "stap/radar_params.hpp"
+
+namespace pstap::stap {
+
+/// One CFAR crossing.
+struct Detection {
+  std::uint64_t cpi = 0;      ///< CPI index (filled by the pipeline driver)
+  std::uint32_t bin = 0;      ///< absolute Doppler bin on the M-point grid
+  std::uint32_t beam = 0;
+  std::uint32_t range = 0;
+  float power = 0.0f;         ///< |y|^2 in the cell under test
+  float threshold = 0.0f;     ///< alpha * local noise estimate
+};
+
+class CfarDetector {
+ public:
+  explicit CfarDetector(const RadarParams& params);
+
+  /// Threshold multiplier alpha = T (Pfa^(-1/T) - 1), T = total training cells.
+  double threshold_scale() const noexcept { return alpha_; }
+
+  /// Detect over every (bin, beam) of `beams`. `bin_ids` maps local bin
+  /// index -> absolute Doppler bin for the reports (size == beams.bins()).
+  std::vector<Detection> detect(const BeamArray& beams,
+                                std::span<const std::size_t> bin_ids) const;
+
+  /// Single range series variant (unit-test hook): returns detected gates.
+  std::vector<std::size_t> detect_series(std::span<const cfloat> series) const;
+
+ private:
+  RadarParams params_;
+  double alpha_;
+};
+
+}  // namespace pstap::stap

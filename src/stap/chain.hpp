@@ -1,0 +1,55 @@
+// StapChain: the complete single-node STAP processing chain with the
+// pipeline's temporal-weight semantics, behind one call.
+//
+// Feed it CPI cubes in order; for each cube it beamforms with adaptive
+// weights trained on the *previous* CPI (conventional steering weights for
+// the very first one), pulse-compresses, CFAR-detects and returns the
+// reports. This is the sequential reference implementation the parallel
+// ThreadRunner is tested against, packaged as public API.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stap/beamform.hpp"
+#include "stap/cfar.hpp"
+#include "stap/doppler.hpp"
+#include "stap/pulse_compress.hpp"
+#include "stap/radar_params.hpp"
+#include "stap/weights.hpp"
+
+namespace pstap::stap {
+
+class StapChain {
+ public:
+  explicit StapChain(const RadarParams& params);
+
+  const RadarParams& params() const noexcept { return params_; }
+
+  /// Process the next CPI cube; returns its detection reports (cpi field
+  /// set to the 0-based push count). Cubes must match the chain's params.
+  std::vector<Detection> push(const DataCube& cube);
+
+  /// Number of CPIs processed so far.
+  std::uint64_t cpis_processed() const noexcept { return cpi_; }
+
+  /// Discard the temporal state (next push behaves like the first).
+  void reset();
+
+ private:
+  RadarParams params_;
+  DopplerFilter doppler_;
+  WeightComputer wc_easy_;
+  WeightComputer wc_hard_;
+  Beamformer beamformer_;
+  PulseCompressor compressor_;
+  CfarDetector cfar_;
+
+  std::uint64_t cpi_ = 0;
+  std::optional<WeightSet> weights_easy_;  // trained on the previous CPI
+  std::optional<WeightSet> weights_hard_;
+  WeightSet conventional_easy_;            // steering-only fallback (CPI 0)
+  WeightSet conventional_hard_;
+};
+
+}  // namespace pstap::stap

@@ -1,0 +1,72 @@
+// Reading and writing CPI cubes through the striped parallel file system.
+//
+// Two on-disk element orders are supported:
+//
+//  * kRangeMajor ([range][pulse][channel]) — the layout the paper's system
+//    uses: a contiguous byte region of the file is a contiguous slab of
+//    range gates, so each I/O node reads its exclusive portion with a
+//    single positioned read (paper §4).
+//  * kPulseMajor ([pulse][channel][range]) — what a streaming radar ADC
+//    naturally writes (one pulse at a time across channels): a range slab
+//    becomes pulses*channels small strided segments. Reading it takes a
+//    gather read, or better, the two-phase collective read in
+//    pipeline/collective_read.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfs/striped_file_system.hpp"
+#include "stap/data_cube.hpp"
+#include "stap/radar_params.hpp"
+
+namespace pstap::stap {
+
+enum class FileLayout {
+  kRangeMajor,  ///< [range][pulse][channel] — slab reads are contiguous
+  kPulseMajor,  ///< [pulse][channel][range] — slab reads are strided
+};
+
+/// Bytes of one CPI file for these parameters (layout independent).
+std::uint64_t cpi_file_bytes(const RadarParams& params);
+
+/// Byte offset of range gate `r0` within a range-major CPI file.
+std::uint64_t cpi_file_offset(const RadarParams& params, std::size_t r0);
+
+/// Elements in a raw range slab [r0, r1) (layout independent).
+std::size_t slab_elements(const RadarParams& params, std::size_t r0, std::size_t r1);
+
+/// Write a full cube as file `name` (the radar side).
+void write_cpi(pfs::StripedFileSystem& fs, const std::string& name,
+               const DataCube& cube, FileLayout layout = FileLayout::kRangeMajor);
+
+/// Read a full cube from file `name`.
+DataCube read_cpi(pfs::StripedFileSystem& fs, const std::string& name,
+                  const RadarParams& params,
+                  FileLayout layout = FileLayout::kRangeMajor);
+
+/// Read range gates [r0, r1) of `file` into a cube of (r1-r0) ranges —
+/// the per-node exclusive-portion read. Synchronous. On pulse-major files
+/// this is a strided gather read.
+DataCube read_cpi_slab(pfs::StripedFile& file, const RadarParams& params,
+                       std::size_t r0, std::size_t r1,
+                       FileLayout layout = FileLayout::kRangeMajor);
+
+/// Asynchronous slab read: starts the transfer into `raw` (slab_elements()
+/// values; must outlive the request); call unpack_slab after completion.
+pfs::IoRequest start_read_cpi_slab(pfs::StripedFile& file, const RadarParams& params,
+                                   std::size_t r0, std::size_t r1,
+                                   std::span<cfloat> raw,
+                                   FileLayout layout = FileLayout::kRangeMajor);
+
+/// Decode a completed raw slab into a cube of (r1-r0) ranges.
+DataCube unpack_slab(const RadarParams& params, std::size_t r0, std::size_t r1,
+                     std::span<const cfloat> raw,
+                     FileLayout layout = FileLayout::kRangeMajor);
+
+/// The paper's round-robin file naming: the radar writes 4 files cyclically
+/// and the pipeline reads them in the same order.
+std::string round_robin_name(std::uint64_t cpi, std::size_t files = 4);
+
+}  // namespace pstap::stap

@@ -1,0 +1,31 @@
+#include "stap/data_cube.hpp"
+
+namespace pstap::stap {
+
+void DataCube::pack_file_order(std::size_t r0, std::size_t r1,
+                               std::span<cfloat> out) const {
+  PSTAP_REQUIRE(out.size() == slab_samples(r0, r1), "slab buffer size mismatch");
+  std::size_t idx = 0;
+  for (std::size_t r = r0; r < r1; ++r) {
+    for (std::size_t p = 0; p < pulses_; ++p) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        out[idx++] = at(c, p, r);
+      }
+    }
+  }
+}
+
+void DataCube::unpack_file_order(std::size_t r0, std::size_t r1,
+                                 std::span<const cfloat> in) {
+  PSTAP_REQUIRE(in.size() == slab_samples(r0, r1), "slab buffer size mismatch");
+  std::size_t idx = 0;
+  for (std::size_t r = r0; r < r1; ++r) {
+    for (std::size_t p = 0; p < pulses_; ++p) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        at(c, p, r) = in[idx++];
+      }
+    }
+  }
+}
+
+}  // namespace pstap::stap

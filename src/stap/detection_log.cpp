@@ -1,0 +1,108 @@
+#include "stap/detection_log.hpp"
+
+#include <cstring>
+
+namespace pstap::stap {
+
+namespace {
+
+// Block layout (little-endian):
+//   u64 magic | u64 cpi | u64 count | count * record
+// record: u32 bin | u32 beam | u32 range | f32 power | f32 threshold
+constexpr std::uint64_t kBlockMagic = 0x50535441504C4F47ULL;  // "PSTAPLOG"
+constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint64_t);
+constexpr std::size_t kRecordBytes = 3 * sizeof(std::uint32_t) + 2 * sizeof(float);
+
+void put_u32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, sizeof v); }
+void put_u64(std::byte* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
+void put_f32(std::byte* p, float v) { std::memcpy(p, &v, sizeof v); }
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+float get_f32(const std::byte* p) {
+  float v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+DetectionLogWriter::DetectionLogWriter(pfs::StripedFileSystem& fs,
+                                       const std::string& name)
+    : file_(fs.create(name)) {}
+
+void DetectionLogWriter::append(std::uint64_t cpi,
+                                std::span<const Detection> detections) {
+  std::vector<std::byte> block(kHeaderBytes + detections.size() * kRecordBytes);
+  put_u64(block.data(), kBlockMagic);
+  put_u64(block.data() + 8, cpi);
+  put_u64(block.data() + 16, detections.size());
+  std::byte* p = block.data() + kHeaderBytes;
+  for (const Detection& d : detections) {
+    put_u32(p + 0, d.bin);
+    put_u32(p + 4, d.beam);
+    put_u32(p + 8, d.range);
+    put_f32(p + 12, d.power);
+    put_f32(p + 16, d.threshold);
+    p += kRecordBytes;
+  }
+  file_.write(offset_, block);
+  offset_ += block.size();
+  ++blocks_;
+}
+
+DetectionLogReader::DetectionLogReader(pfs::StripedFileSystem& fs,
+                                       const std::string& name)
+    : file_(fs.open(name)), size_(file_.size()) {}
+
+bool DetectionLogReader::next(DetectionBlock& block) {
+  if (offset_ >= size_) return false;
+  if (offset_ + kHeaderBytes > size_) {
+    PSTAP_IO_FAIL("truncated detection log header", 0);
+  }
+  std::vector<std::byte> header(kHeaderBytes);
+  file_.read(offset_, header);
+  if (get_u64(header.data()) != kBlockMagic) {
+    PSTAP_IO_FAIL("detection log corruption: bad block magic", 0);
+  }
+  block.cpi = get_u64(header.data() + 8);
+  const std::uint64_t count = get_u64(header.data() + 16);
+  const std::uint64_t body = count * kRecordBytes;
+  if (offset_ + kHeaderBytes + body > size_) {
+    PSTAP_IO_FAIL("truncated detection log block", 0);
+  }
+  std::vector<std::byte> records(body);
+  if (body > 0) file_.read(offset_ + kHeaderBytes, records);
+  block.detections.clear();
+  block.detections.reserve(count);
+  const std::byte* p = records.data();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Detection d;
+    d.cpi = block.cpi;
+    d.bin = get_u32(p + 0);
+    d.beam = get_u32(p + 4);
+    d.range = get_u32(p + 8);
+    d.power = get_f32(p + 12);
+    d.threshold = get_f32(p + 16);
+    block.detections.push_back(d);
+    p += kRecordBytes;
+  }
+  offset_ += kHeaderBytes + body;
+  return true;
+}
+
+std::vector<DetectionBlock> DetectionLogReader::read_all() {
+  std::vector<DetectionBlock> blocks;
+  DetectionBlock block;
+  while (next(block)) blocks.push_back(block);
+  return blocks;
+}
+
+}  // namespace pstap::stap

@@ -1,0 +1,62 @@
+// Persistent detection-report log on the striped parallel file system.
+//
+// The pipeline's product is a stream of detection reports per CPI; the
+// paper's "Target Display" consumes them. DetectionLogWriter appends
+// length-prefixed per-CPI record blocks to a striped file;
+// DetectionLogReader replays them. The format is a fixed little-endian
+// binary layout (not raw struct dumps), so logs are portable across
+// builds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfs/striped_file_system.hpp"
+#include "stap/cfar.hpp"
+
+namespace pstap::stap {
+
+/// Appends per-CPI detection blocks to a striped file.
+class DetectionLogWriter {
+ public:
+  /// Creates (truncating) the log file `name` on `fs`.
+  DetectionLogWriter(pfs::StripedFileSystem& fs, const std::string& name);
+
+  /// Append one CPI's reports (the Detection::cpi fields are persisted
+  /// as-is; an empty vector writes a valid empty block).
+  void append(std::uint64_t cpi, std::span<const Detection> detections);
+
+  /// Number of blocks appended so far.
+  std::uint64_t blocks() const noexcept { return blocks_; }
+
+ private:
+  pfs::StripedFile file_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t blocks_ = 0;
+};
+
+/// One replayed block.
+struct DetectionBlock {
+  std::uint64_t cpi = 0;
+  std::vector<Detection> detections;
+};
+
+/// Reads every block of a detection log.
+class DetectionLogReader {
+ public:
+  DetectionLogReader(pfs::StripedFileSystem& fs, const std::string& name);
+
+  /// Next block, or false at end of log. Throws IoError on corruption.
+  bool next(DetectionBlock& block);
+
+  /// Convenience: read all remaining blocks.
+  std::vector<DetectionBlock> read_all();
+
+ private:
+  pfs::StripedFile file_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace pstap::stap

@@ -1,0 +1,76 @@
+#include "stap/doppler.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pstap::stap {
+
+DopplerFilter::DopplerFilter(const RadarParams& params)
+    : params_(params), plan_(params.doppler_bins()) {
+  params_.validate();
+  const std::size_t m = params_.doppler_bins();
+  window_.resize(m);
+  if (m == 1) {
+    window_[0] = 1.0f;
+  } else {
+    // Hann window, normalized to unit average gain so easy/hard amplitude
+    // comparisons across bins stay calibrated.
+    double sum = 0.0;
+    for (std::size_t p = 0; p < m; ++p) {
+      const double w = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                            static_cast<double>(p) /
+                                            static_cast<double>(m - 1));
+      window_[p] = static_cast<float>(w);
+      sum += w;
+    }
+    const float norm = static_cast<float>(static_cast<double>(m) / sum);
+    for (float& w : window_) w *= norm;
+  }
+}
+
+DopplerOutput DopplerFilter::process(const DataCube& cube) const {
+  PSTAP_REQUIRE(cube.channels() == params_.channels && cube.pulses() == params_.pulses,
+                "cube shape does not match radar parameters");
+  const std::size_t m = params_.doppler_bins();
+  const std::size_t ch = params_.channels;
+  const std::size_t nr = cube.ranges();
+
+  DopplerOutput out;
+  out.easy_bin_ids = params_.easy_bins();
+  out.hard_bin_ids = params_.hard_bins();
+  out.easy = BinArray(out.easy_bin_ids.size(), params_.easy_dof(), nr);
+  out.hard = BinArray(out.hard_bin_ids.size(), params_.hard_dof(), nr);
+
+  // bin -> local index maps (dense over the M-point grid).
+  std::vector<std::size_t> easy_slot(m, SIZE_MAX), hard_slot(m, SIZE_MAX);
+  for (std::size_t i = 0; i < out.easy_bin_ids.size(); ++i)
+    easy_slot[out.easy_bin_ids[i]] = i;
+  for (std::size_t i = 0; i < out.hard_bin_ids.size(); ++i)
+    hard_slot[out.hard_bin_ids[i]] = i;
+
+  std::vector<cfloat> s0(m), s1(m);
+  for (std::size_t c = 0; c < ch; ++c) {
+    for (std::size_t r = 0; r < nr; ++r) {
+      // Two staggered, windowed sub-apertures.
+      for (std::size_t p = 0; p < m; ++p) {
+        s0[p] = window_[p] * cube.at(c, p, r);
+        s1[p] = window_[p] * cube.at(c, p + 1, r);
+      }
+      plan_.transform(s0, fft::Direction::kForward);
+      plan_.transform(s1, fft::Direction::kForward);
+
+      for (std::size_t b = 0; b < m; ++b) {
+        if (hard_slot[b] != SIZE_MAX) {
+          const std::size_t i = hard_slot[b];
+          out.hard.at(i, c, r) = s0[b];
+          out.hard.at(i, ch + c, r) = s1[b];
+        } else {
+          out.easy.at(easy_slot[b], c, r) = s0[b];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pstap::stap

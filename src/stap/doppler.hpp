@@ -1,0 +1,42 @@
+// Doppler filter processing (pipeline task 1).
+//
+// Forms two PRI-staggered sub-apertures of length M = pulses-1, windows and
+// Doppler-transforms each, then routes bins: easy bins keep the stagger-0
+// spectrum only (channels DOF); hard bins stack both staggers (2*channels
+// DOF) for the adaptive clutter cancellation downstream.
+#pragma once
+
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "stap/data_cube.hpp"
+#include "stap/radar_params.hpp"
+
+namespace pstap::stap {
+
+/// Output of Doppler filtering for one CPI (or one range slab of it).
+struct DopplerOutput {
+  std::vector<std::size_t> easy_bin_ids;  ///< bins covered by `easy`
+  std::vector<std::size_t> hard_bin_ids;  ///< bins covered by `hard`
+  BinArray easy;  ///< [easy bin][channels][ranges]
+  BinArray hard;  ///< [hard bin][2*channels][ranges]
+};
+
+class DopplerFilter {
+ public:
+  explicit DopplerFilter(const RadarParams& params);
+
+  /// Doppler-process a cube (its range extent may be a slab of the full
+  /// CPI when running data-parallel).
+  DopplerOutput process(const DataCube& cube) const;
+
+  /// The Hann window applied across each sub-aperture.
+  const std::vector<float>& window() const noexcept { return window_; }
+
+ private:
+  RadarParams params_;
+  fft::FftPlan plan_;            // length M transform
+  std::vector<float> window_;    // length M
+};
+
+}  // namespace pstap::stap

@@ -1,0 +1,42 @@
+#include "stap/pulse_compress.hpp"
+
+#include "stap/scene.hpp"
+
+namespace pstap::stap {
+
+PulseCompressor::PulseCompressor(const RadarParams& params)
+    : params_(params), plan_(params.ranges), code_(make_range_code(params.pc_code_length)) {
+  params_.validate();
+  // Matched-filter spectrum: conj(FFT(code zero-padded to the range window)),
+  // normalized by the code length so a full code echo compresses to its
+  // original per-sample amplitude times 1 (unit processing gain in
+  // amplitude; SNR gain shows up through noise averaging).
+  std::vector<cfloat> padded(params_.ranges, cfloat{});
+  std::copy(code_.begin(), code_.end(), padded.begin());
+  plan_.transform(padded, fft::Direction::kForward);
+  code_spectrum_.resize(params_.ranges);
+  const float norm = 1.0f / static_cast<float>(code_.size());
+  for (std::size_t i = 0; i < padded.size(); ++i) {
+    code_spectrum_[i] = std::conj(padded[i]) * norm;
+  }
+}
+
+void PulseCompressor::compress_series(std::span<cfloat> series) const {
+  PSTAP_REQUIRE(series.size() == params_.ranges,
+                "series length must equal the range window");
+  plan_.transform(series, fft::Direction::kForward);
+  fft::multiply_spectra(series, code_spectrum_);
+  plan_.transform(series, fft::Direction::kInverse);
+}
+
+void PulseCompressor::compress(BeamArray& beams) const {
+  PSTAP_REQUIRE(beams.ranges() == params_.ranges,
+                "beam array range extent must equal the range window");
+  for (std::size_t b = 0; b < beams.bins(); ++b) {
+    for (std::size_t beam = 0; beam < beams.beams(); ++beam) {
+      compress_series(beams.range_series(b, beam));
+    }
+  }
+}
+
+}  // namespace pstap::stap

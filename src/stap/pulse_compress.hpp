@@ -1,0 +1,38 @@
+// Pulse compression (pipeline task 6).
+//
+// Matched-filters each beamformed range series against the transmitted
+// code via FFT-based circular correlation: Y = IFFT(FFT(y) .* conj(C)).
+// A target whose code starts at range gate r produces a compressed peak at
+// gate r with processing gain equal to the code length.
+#pragma once
+
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "stap/data_cube.hpp"
+#include "stap/radar_params.hpp"
+
+namespace pstap::stap {
+
+class PulseCompressor {
+ public:
+  /// `ranges` fixes the FFT length; the code comes from make_range_code
+  /// (shared with SceneGenerator).
+  explicit PulseCompressor(const RadarParams& params);
+
+  /// In-place compression along the range dimension of every (bin, beam).
+  void compress(BeamArray& beams) const;
+
+  /// Compress a single range series in place (unit-test hook).
+  void compress_series(std::span<cfloat> series) const;
+
+  const std::vector<cfloat>& code() const noexcept { return code_; }
+
+ private:
+  RadarParams params_;
+  fft::FftPlan plan_;                 // length == ranges
+  std::vector<cfloat> code_;          // length pc_code_length
+  std::vector<cfloat> code_spectrum_; // conj(FFT(zero-padded code))
+};
+
+}  // namespace pstap::stap

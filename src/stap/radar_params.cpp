@@ -1,0 +1,70 @@
+#include "stap/radar_params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace pstap::stap {
+
+std::vector<std::size_t> RadarParams::hard_bins() const {
+  std::vector<std::size_t> bins;
+  bins.reserve(hard_bin_count());
+  for (std::size_t b = 0; b < doppler_bins(); ++b) {
+    if (is_hard_bin(b)) bins.push_back(b);
+  }
+  return bins;
+}
+
+std::vector<std::size_t> RadarParams::easy_bins() const {
+  std::vector<std::size_t> bins;
+  bins.reserve(easy_bin_count());
+  for (std::size_t b = 0; b < doppler_bins(); ++b) {
+    if (!is_hard_bin(b)) bins.push_back(b);
+  }
+  return bins;
+}
+
+double RadarParams::beam_angle(std::size_t beam) const {
+  PSTAP_REQUIRE(beam < beams, "beam index out of range");
+  if (beams == 1) return 0.0;
+  const double lo = -std::numbers::pi / 4.0;
+  const double hi = std::numbers::pi / 4.0;
+  return lo + (hi - lo) * static_cast<double>(beam) / static_cast<double>(beams - 1);
+}
+
+void RadarParams::validate() const {
+  PSTAP_REQUIRE(channels >= 1, "need at least one channel");
+  PSTAP_REQUIRE(pulses >= 2, "need at least two pulses (staggered sub-apertures)");
+  PSTAP_REQUIRE(ranges >= 1, "need at least one range gate");
+  PSTAP_REQUIRE(beams >= 1, "need at least one beam");
+  PSTAP_REQUIRE(2 * hard_halfwidth + 1 < doppler_bins(),
+                "hard bins must not cover the whole Doppler space");
+  PSTAP_REQUIRE(training_ranges >= hard_dof(),
+                "covariance training needs at least hard_dof() range gates");
+  PSTAP_REQUIRE(training_ranges <= ranges, "training ranges exceed range gates");
+  PSTAP_REQUIRE(diagonal_loading >= 0.0, "diagonal loading must be non-negative");
+  PSTAP_REQUIRE(pc_code_length >= 1 && pc_code_length <= ranges,
+                "pulse-compression code must fit within the range window");
+  PSTAP_REQUIRE(cfar_pfa > 0.0 && cfar_pfa < 1.0, "CFAR Pfa must be in (0,1)");
+  PSTAP_REQUIRE(cfar_training >= 1, "CFAR needs training cells");
+  PSTAP_REQUIRE(2 * (cfar_training + cfar_guard) < ranges,
+                "CFAR window must fit within the range extent");
+}
+
+RadarParams RadarParams::test_small() {
+  RadarParams p;
+  p.channels = 4;
+  p.pulses = 17;  // doppler_bins = 16 (power of two)
+  p.ranges = 128;
+  p.hard_halfwidth = 2;  // 5 hard, 11 easy bins
+  p.beams = 2;
+  p.training_ranges = 32;
+  p.pc_code_length = 8;
+  p.cfar_training = 8;
+  p.cfar_guard = 2;
+  p.cfar_pfa = 1e-4;
+  p.validate();
+  return p;
+}
+
+}  // namespace pstap::stap

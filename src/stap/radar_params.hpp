@@ -1,0 +1,89 @@
+// Radar and algorithm parameters for the PRI-staggered post-Doppler STAP
+// pipeline (the algorithm of the paper and its IPPS'98 companion).
+//
+// One coherent processing interval (CPI) is a channels x pulses x ranges
+// complex data cube. Doppler filtering forms two staggered sub-apertures of
+// length pulses-1; Doppler bins near the clutter ridge (DC) are "hard"
+// (adaptive over both staggers, 2*channels degrees of freedom), the rest
+// are "easy" (single stagger, channels DOF) — the split that gives the
+// pipeline its easy/hard weight-computation and beamforming task pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pstap::stap {
+
+struct RadarParams {
+  std::size_t channels = 16;  ///< antenna elements J
+  std::size_t pulses = 128;   ///< pulses per CPI N
+  std::size_t ranges = 1024;  ///< range gates K
+
+  /// Doppler bins with |bin - DC| <= hard_halfwidth (cyclic) are "hard".
+  std::size_t hard_halfwidth = 7;
+
+  /// Beams formed per Doppler bin.
+  std::size_t beams = 4;
+
+  /// Training range gates for covariance estimation.
+  std::size_t training_ranges = 128;
+
+  /// Diagonal loading as a fraction of the average channel power.
+  double diagonal_loading = 1e-2;
+
+  /// Pulse-compression code length (range-dimension matched filter).
+  std::size_t pc_code_length = 32;
+
+  /// CFAR: training and guard cells per side, and false-alarm probability.
+  std::size_t cfar_training = 32;
+  std::size_t cfar_guard = 4;
+  double cfar_pfa = 1e-6;
+
+  /// Normalized element spacing d / lambda of the uniform linear array.
+  double element_spacing = 0.5;
+
+  // ------------------------------------------------------------ derived --
+
+  /// Staggered sub-aperture length (Doppler FFT size), M = N - 1.
+  std::size_t doppler_bins() const { return pulses - 1; }
+
+  /// Number of hard Doppler bins (cyclic interval around DC).
+  std::size_t hard_bin_count() const { return 2 * hard_halfwidth + 1; }
+
+  /// Number of easy Doppler bins.
+  std::size_t easy_bin_count() const { return doppler_bins() - hard_bin_count(); }
+
+  /// True if Doppler bin `bin` (on the M-point grid) is hard.
+  bool is_hard_bin(std::size_t bin) const {
+    const std::size_t m = doppler_bins();
+    const std::size_t dist = std::min(bin, m - bin);
+    return dist <= hard_halfwidth;
+  }
+
+  /// Ascending list of hard bins.
+  std::vector<std::size_t> hard_bins() const;
+  /// Ascending list of easy bins.
+  std::vector<std::size_t> easy_bins() const;
+
+  /// Adaptive degrees of freedom.
+  std::size_t easy_dof() const { return channels; }
+  std::size_t hard_dof() const { return 2 * channels; }
+
+  /// Samples per CPI cube and its size in bytes on disk (one cfloat each).
+  std::size_t cube_samples() const { return channels * pulses * ranges; }
+  std::size_t cube_bytes() const { return cube_samples() * sizeof(cfloat); }
+
+  /// Steering angle (radians off boresight) of beam b, spread over ±45°.
+  double beam_angle(std::size_t beam) const;
+
+  /// Validate invariants; throws PreconditionError with a diagnosis.
+  void validate() const;
+
+  /// Small configuration for unit tests (fast end-to-end runs).
+  static RadarParams test_small();
+};
+
+}  // namespace pstap::stap

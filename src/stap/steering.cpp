@@ -1,0 +1,36 @@
+#include "stap/steering.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace pstap::stap {
+
+std::vector<cfloat> spatial_steering(std::size_t channels, double spacing,
+                                     double theta) {
+  std::vector<cfloat> s(channels);
+  const double k = 2.0 * std::numbers::pi * spacing * std::sin(theta);
+  for (std::size_t c = 0; c < channels; ++c) {
+    const double ang = k * static_cast<double>(c);
+    s[c] = {static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang))};
+  }
+  return s;
+}
+
+std::vector<cfloat> stacked_steering(std::span<const cfloat> spatial, double psi) {
+  std::vector<cfloat> s(2 * spatial.size());
+  const cfloat shift{static_cast<float>(std::cos(psi)), static_cast<float>(std::sin(psi))};
+  for (std::size_t c = 0; c < spatial.size(); ++c) {
+    s[c] = spatial[c];
+    s[spatial.size() + c] = shift * spatial[c];
+  }
+  return s;
+}
+
+double doppler_phase(std::size_t bin, std::size_t m) {
+  PSTAP_REQUIRE(m >= 1 && bin < m, "doppler bin out of range");
+  return 2.0 * std::numbers::pi * static_cast<double>(bin) / static_cast<double>(m);
+}
+
+}  // namespace pstap::stap

@@ -1,0 +1,23 @@
+// Steering-vector construction for the uniform linear array and the
+// PRI-staggered temporal dimension.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pstap::stap {
+
+/// Spatial steering vector for a ULA: s[c] = exp(i 2π spacing sin(theta) c).
+std::vector<cfloat> spatial_steering(std::size_t channels, double spacing,
+                                     double theta);
+
+/// Stack a spatial steering vector across two PRI staggers with Doppler
+/// phase `psi` radians per PRI: [s ; e^{i psi} s].
+std::vector<cfloat> stacked_steering(std::span<const cfloat> spatial, double psi);
+
+/// Doppler phase advance per PRI of bin `bin` on an `m`-point grid.
+double doppler_phase(std::size_t bin, std::size_t m);
+
+}  // namespace pstap::stap

@@ -1,0 +1,151 @@
+#include "stap/weights.hpp"
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/cmatrix.hpp"
+#include "linalg/qr.hpp"
+#include "stap/steering.hpp"
+
+namespace pstap::stap {
+
+WeightComputer::WeightComputer(const RadarParams& params,
+                               std::vector<std::size_t> bin_ids, std::size_t dof,
+                               WeightSolver solver)
+    : params_(params), bin_ids_(std::move(bin_ids)), dof_(dof), solver_(solver) {
+  params_.validate();
+  PSTAP_REQUIRE(dof_ == params_.easy_dof() || dof_ == params_.hard_dof(),
+                "dof must be easy_dof() or hard_dof()");
+  for (const std::size_t b : bin_ids_) {
+    PSTAP_REQUIRE(b < params_.doppler_bins(), "bin id outside the M-point grid");
+  }
+}
+
+std::vector<cfloat> WeightComputer::steering(std::size_t bin, std::size_t beam) const {
+  const auto spatial =
+      spatial_steering(params_.channels, params_.element_spacing,
+                       params_.beam_angle(beam));
+  if (dof_ == params_.easy_dof()) return spatial;
+  return stacked_steering(spatial, doppler_phase(bin, params_.doppler_bins()));
+}
+
+namespace {
+
+/// MVDR normalization: w <- w / (s^H w), making the response toward the
+/// steering vector exactly one. Falls back to unit scale for degenerate
+/// denominators. Scale-invariant in w, so solver-specific scalings cancel.
+void normalize_and_store(std::span<const cfloat> s, std::span<cdouble> w,
+                         std::span<cfloat> out) {
+  cdouble denom{};
+  for (std::size_t d = 0; d < s.size(); ++d) {
+    denom += std::conj(cdouble{s[d].real(), s[d].imag()}) * w[d];
+  }
+  const double mag = std::abs(denom);
+  const cdouble scale = mag > 1e-30 ? 1.0 / denom : cdouble{1.0, 0.0};
+  for (std::size_t d = 0; d < s.size(); ++d) {
+    const cdouble v = w[d] * scale;
+    out[d] = {static_cast<float>(v.real()), static_cast<float>(v.imag())};
+  }
+}
+
+}  // namespace
+
+WeightSet WeightComputer::compute_cholesky(const BinArray& spectra,
+                                           std::size_t training) const {
+  WeightSet weights(bin_ids_.size(), params_.beams, dof_);
+  std::vector<cdouble> x(dof_);
+
+  for (std::size_t bi = 0; bi < bin_ids_.size(); ++bi) {
+    // Sample covariance over the training gates (double accumulation).
+    linalg::CMatrix<double> r(dof_, dof_);
+    for (std::size_t t = 0; t < training; ++t) {
+      for (std::size_t d = 0; d < dof_; ++d) {
+        const cfloat v = spectra.at(bi, d, t);
+        x[d] = {v.real(), v.imag()};
+      }
+      r.her_update(x, 1.0 / static_cast<double>(training));
+    }
+    // Diagonal loading relative to the average per-DOF power.
+    double trace = 0.0;
+    for (std::size_t d = 0; d < dof_; ++d) trace += r(d, d).real();
+    const double load =
+        params_.diagonal_loading * (trace / static_cast<double>(dof_)) + 1e-12;
+    for (std::size_t d = 0; d < dof_; ++d) r(d, d) += load;
+
+    // Factor once per bin, solve per beam.
+    linalg::CMatrix<double> l = r;
+    const bool pd = linalg::cholesky_factor(l);
+
+    for (std::size_t beam = 0; beam < params_.beams; ++beam) {
+      const auto s = steering(bin_ids_[bi], beam);
+      std::vector<cdouble> w(dof_);
+      for (std::size_t d = 0; d < dof_; ++d) w[d] = {s[d].real(), s[d].imag()};
+      if (pd) {
+        // w = R^-1 s; on numerically singular bins fall back to the loaded
+        // identity (conventional beamforming).
+        linalg::cholesky_solve_inplace(l, std::span<cdouble>(w));
+      }
+      normalize_and_store(s, w, weights.at(bi, beam));
+    }
+  }
+  return weights;
+}
+
+WeightSet WeightComputer::compute_qr(const BinArray& spectra,
+                                     std::size_t training) const {
+  WeightSet weights(bin_ids_.size(), params_.beams, dof_);
+  const double t = static_cast<double>(training);
+
+  for (std::size_t bi = 0; bi < bin_ids_.size(); ++bi) {
+    // Average per-DOF training power, for the loading rows.
+    double power = 0.0;
+    for (std::size_t tt = 0; tt < training; ++tt) {
+      for (std::size_t d = 0; d < dof_; ++d) power += std::norm(spectra.at(bi, d, tt));
+    }
+    const double load =
+        params_.diagonal_loading * (power / (t * static_cast<double>(dof_))) + 1e-12;
+
+    // Augmented data matrix: rows are conjugated snapshots, then
+    // sqrt(T * load) * I — so A^H A = T (R_hat + load I).
+    linalg::CMatrix<double> a(training + dof_, dof_);
+    for (std::size_t tt = 0; tt < training; ++tt) {
+      for (std::size_t d = 0; d < dof_; ++d) {
+        const cfloat v = spectra.at(bi, d, tt);
+        a(tt, d) = {v.real(), -v.imag()};
+      }
+    }
+    const double sigma = std::sqrt(t * load);
+    for (std::size_t d = 0; d < dof_; ++d) a(training + d, d) = {sigma, 0.0};
+
+    linalg::QrFactorization<double> qr;
+    const bool ok = qr.factor(std::move(a));
+
+    for (std::size_t beam = 0; beam < params_.beams; ++beam) {
+      const auto s = steering(bin_ids_[bi], beam);
+      std::vector<cdouble> w(dof_);
+      for (std::size_t d = 0; d < dof_; ++d) w[d] = {s[d].real(), s[d].imag()};
+      if (ok) {
+        // (R^H R) w = s through two triangular solves; the T scaling
+        // cancels in the MVDR normalization.
+        qr.solve_upper_herm(std::span<cdouble>(w));
+        qr.solve_upper(std::span<cdouble>(w));
+      }
+      normalize_and_store(s, w, weights.at(bi, beam));
+    }
+  }
+  return weights;
+}
+
+WeightSet WeightComputer::compute(const BinArray& spectra) const {
+  PSTAP_REQUIRE(spectra.bins() == bin_ids_.size(),
+                "spectra bin count does not match assignment");
+  PSTAP_REQUIRE(spectra.dof() == dof_, "spectra dof mismatch");
+  const std::size_t training = std::min<std::size_t>(params_.training_ranges,
+                                                     spectra.ranges());
+  PSTAP_REQUIRE(training >= dof_,
+                "not enough training range gates for the requested DOF");
+  return solver_ == WeightSolver::kCholeskySmi ? compute_cholesky(spectra, training)
+                                               : compute_qr(spectra, training);
+}
+
+}  // namespace pstap::stap

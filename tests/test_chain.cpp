@@ -1,0 +1,131 @@
+// Tests for stap::StapChain: equivalence with the hand-wired kernel
+// sequence, temporal-weight semantics, reset, and detection quality.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "stap/chain.hpp"
+#include "stap/scene.hpp"
+
+namespace pstap::stap {
+namespace {
+
+using DetKey = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+
+std::set<DetKey> keys(const std::vector<Detection>& dets) {
+  std::set<DetKey> out;
+  for (const auto& d : dets) out.insert({d.bin, d.beam, d.range});
+  return out;
+}
+
+SceneConfig two_target_scene() {
+  SceneConfig scene;
+  scene.cnr_db = 40.0;
+  scene.targets = {{40, 8.0, 0.0, 18.0}, {90, 1.0, -0.35, 25.0}};
+  return scene;
+}
+
+TEST(StapChainTest, SecondPushMatchesManualKernelSequence) {
+  const RadarParams p = RadarParams::test_small();
+  SceneGenerator gen(p, two_target_scene(), 21);
+  const DataCube cube0 = gen.generate(0);
+  const DataCube cube1 = gen.generate(1);
+
+  StapChain chain(p);
+  (void)chain.push(cube0);
+  const auto chained = chain.push(cube1);
+
+  // Manual: weights from cube0, detect on cube1.
+  DopplerFilter filt(p);
+  const auto prev = filt.process(cube0);
+  const auto cur = filt.process(cube1);
+  WeightComputer wce(p, prev.easy_bin_ids, p.easy_dof());
+  WeightComputer wch(p, prev.hard_bin_ids, p.hard_dof());
+  Beamformer bf(p);
+  auto ye = bf.apply(cur.easy, wce.compute(prev.easy));
+  auto yh = bf.apply(cur.hard, wch.compute(prev.hard));
+  PulseCompressor pc(p);
+  pc.compress(ye);
+  pc.compress(yh);
+  CfarDetector cfar(p);
+  auto manual = cfar.detect(ye, cur.easy_bin_ids);
+  const auto hard = cfar.detect(yh, cur.hard_bin_ids);
+  manual.insert(manual.end(), hard.begin(), hard.end());
+
+  EXPECT_EQ(keys(chained), keys(manual));
+  EXPECT_FALSE(chained.empty());
+}
+
+TEST(StapChainTest, CpiCounterAndFieldAdvance) {
+  const RadarParams p = RadarParams::test_small();
+  SceneGenerator gen(p, two_target_scene(), 3);
+  StapChain chain(p);
+  EXPECT_EQ(chain.cpis_processed(), 0u);
+  const auto d0 = chain.push(gen.generate(0));
+  const auto d1 = chain.push(gen.generate(1));
+  EXPECT_EQ(chain.cpis_processed(), 2u);
+  for (const auto& d : d0) EXPECT_EQ(d.cpi, 0u);
+  for (const auto& d : d1) EXPECT_EQ(d.cpi, 1u);
+}
+
+TEST(StapChainTest, ResetRestoresConventionalWeights) {
+  const RadarParams p = RadarParams::test_small();
+  SceneGenerator gen(p, two_target_scene(), 5);
+  const DataCube cube = gen.generate(0);
+
+  StapChain chain(p);
+  const auto first = chain.push(cube);
+  (void)chain.push(gen.generate(1));
+  chain.reset();
+  EXPECT_EQ(chain.cpis_processed(), 0u);
+  const auto after_reset = chain.push(cube);
+  EXPECT_EQ(keys(first), keys(after_reset));
+}
+
+TEST(StapChainTest, AdaptiveCpiFindsBothTargets) {
+  const RadarParams p = RadarParams::test_small();
+  SceneGenerator gen(p, two_target_scene(), 21);
+  StapChain chain(p);
+  (void)chain.push(gen.generate(0));
+  const auto dets = chain.push(gen.generate(1));
+  bool easy = false, hard = false;
+  for (const auto& d : dets) {
+    if (d.bin == 8 && std::abs(int(d.range) - 40) <= 1) easy = true;
+    if (d.bin == 1 && std::abs(int(d.range) - 90) <= 1) hard = true;
+  }
+  EXPECT_TRUE(easy);
+  EXPECT_TRUE(hard);
+}
+
+TEST(StapChainTest, RejectsMismatchedCube) {
+  const RadarParams p = RadarParams::test_small();
+  StapChain chain(p);
+  DataCube wrong(p.channels + 1, p.pulses, p.ranges);
+  EXPECT_THROW(chain.push(wrong), PreconditionError);
+}
+
+TEST(StapChainTest, MovingTargetTracksAcrossCpis) {
+  const RadarParams p = RadarParams::test_small();
+  SceneConfig scene = two_target_scene();
+  scene.targets[0].range_rate = 4.0;  // easy target drifts 4 gates/CPI
+  SceneGenerator gen(p, scene, 9);
+  StapChain chain(p);
+  (void)chain.push(gen.generate(0));
+  for (std::uint64_t cpi = 1; cpi < 4; ++cpi) {
+    const auto dets = chain.push(gen.generate(cpi));
+    const std::size_t expect_range = gen.target_range_at(0, cpi);
+    bool tracked = false;
+    for (const auto& d : dets) {
+      if (d.bin == 8 &&
+          std::abs(int(d.range) - int(expect_range)) <= 1) {
+        tracked = true;
+      }
+    }
+    EXPECT_TRUE(tracked) << "cpi " << cpi << " expected range " << expect_range;
+  }
+}
+
+}  // namespace
+}  // namespace pstap::stap

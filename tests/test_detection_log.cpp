@@ -1,0 +1,129 @@
+// Tests for the striped-file detection log: round trips, empty blocks,
+// persistence across remounts, corruption detection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "stap/detection_log.hpp"
+
+namespace pstap::stap {
+namespace {
+
+namespace fsys = std::filesystem;
+
+class DetectionLogTest : public ::testing::Test {
+ protected:
+  DetectionLogTest() {
+    static std::atomic<int> counter{0};
+    root_ = fsys::temp_directory_path() /
+            ("pstap_detlog_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    fs_ = std::make_unique<pfs::StripedFileSystem>(root_, pfs::paragon_pfs(4));
+  }
+  ~DetectionLogTest() override {
+    fs_.reset();
+    std::error_code ec;
+    fsys::remove_all(root_, ec);
+  }
+
+  static Detection make(std::uint64_t cpi, std::uint32_t bin, std::uint32_t beam,
+                        std::uint32_t range, float power) {
+    Detection d;
+    d.cpi = cpi;
+    d.bin = bin;
+    d.beam = beam;
+    d.range = range;
+    d.power = power;
+    d.threshold = power / 2;
+    return d;
+  }
+
+  fsys::path root_;
+  std::unique_ptr<pfs::StripedFileSystem> fs_;
+};
+
+TEST_F(DetectionLogTest, RoundTripMultipleBlocks) {
+  {
+    DetectionLogWriter writer(*fs_, "log");
+    writer.append(0, std::vector<Detection>{make(0, 1, 0, 40, 10.f),
+                                            make(0, 2, 1, 90, 20.f)});
+    writer.append(1, std::vector<Detection>{make(1, 3, 0, 44, 30.f)});
+    EXPECT_EQ(writer.blocks(), 2u);
+  }
+  DetectionLogReader reader(*fs_, "log");
+  const auto blocks = reader.read_all();
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].cpi, 0u);
+  ASSERT_EQ(blocks[0].detections.size(), 2u);
+  EXPECT_EQ(blocks[0].detections[1].range, 90u);
+  EXPECT_FLOAT_EQ(blocks[0].detections[1].power, 20.f);
+  EXPECT_EQ(blocks[1].cpi, 1u);
+  ASSERT_EQ(blocks[1].detections.size(), 1u);
+  EXPECT_EQ(blocks[1].detections[0].bin, 3u);
+}
+
+TEST_F(DetectionLogTest, EmptyBlocksAreValid) {
+  {
+    DetectionLogWriter writer(*fs_, "log");
+    writer.append(7, {});
+    writer.append(8, std::vector<Detection>{make(8, 1, 0, 10, 5.f)});
+  }
+  DetectionLogReader reader(*fs_, "log");
+  const auto blocks = reader.read_all();
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].cpi, 7u);
+  EXPECT_TRUE(blocks[0].detections.empty());
+  EXPECT_EQ(blocks[1].detections.size(), 1u);
+}
+
+TEST_F(DetectionLogTest, EmptyLogReadsNothing) {
+  { DetectionLogWriter writer(*fs_, "log"); }
+  DetectionLogReader reader(*fs_, "log");
+  DetectionBlock block;
+  EXPECT_FALSE(reader.next(block));
+}
+
+TEST_F(DetectionLogTest, SurvivesRemount) {
+  {
+    DetectionLogWriter writer(*fs_, "log");
+    writer.append(3, std::vector<Detection>{make(3, 5, 1, 77, 9.f)});
+  }
+  fs_.reset();
+  fs_ = std::make_unique<pfs::StripedFileSystem>(root_, pfs::paragon_pfs(4));
+  DetectionLogReader reader(*fs_, "log");
+  const auto blocks = reader.read_all();
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].detections[0].range, 77u);
+}
+
+TEST_F(DetectionLogTest, CorruptMagicIsRejected) {
+  {
+    DetectionLogWriter writer(*fs_, "log");
+    writer.append(0, std::vector<Detection>{make(0, 1, 0, 40, 10.f)});
+  }
+  // Stomp the magic.
+  pfs::StripedFile f = fs_->open("log");
+  const std::vector<std::byte> junk(8, std::byte{0xAA});
+  f.write(0, junk);
+  DetectionLogReader reader(*fs_, "log");
+  DetectionBlock block;
+  EXPECT_THROW(reader.next(block), IoError);
+}
+
+TEST_F(DetectionLogTest, TruncatedBlockIsRejected) {
+  {
+    DetectionLogWriter writer(*fs_, "log");
+    writer.append(0, std::vector<Detection>{make(0, 1, 0, 40, 10.f)});
+  }
+  // Rewrite the count to claim more records than the file holds.
+  pfs::StripedFile f = fs_->open("log");
+  const std::uint64_t huge = 1000;
+  f.write(16, std::as_bytes(std::span<const std::uint64_t>(&huge, 1)));
+  DetectionLogReader reader(*fs_, "log");
+  DetectionBlock block;
+  EXPECT_THROW(reader.next(block), IoError);
+}
+
+}  // namespace
+}  // namespace pstap::stap

@@ -1,0 +1,264 @@
+// Tests for the FFT substrate: analytic spot checks, round-trip and
+// Parseval properties (parameterized over lengths, incl. non-power-of-two
+// Bluestein paths), linearity, shift theorem, strided/batched interfaces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fft/fft.hpp"
+
+namespace pstap::fft {
+namespace {
+
+std::vector<cfloat> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cfloat> v(n);
+  for (auto& x : v) x = rng.complex_normal();
+  return v;
+}
+
+// O(n^2) reference DFT used as the oracle.
+std::vector<cfloat> naive_dft(const std::vector<cfloat>& x, bool inverse) {
+  const std::size_t n = x.size();
+  std::vector<cfloat> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    cdouble acc{};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(k * t % n) / static_cast<double>(n);
+      acc += cdouble(x[t].real(), x[t].imag()) * cdouble(std::cos(ang), std::sin(ang));
+    }
+    if (inverse) acc /= static_cast<double>(n);
+    out[k] = cfloat(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+double max_abs_diff(const std::vector<cfloat>& a, const std::vector<cfloat>& b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, double(std::abs(a[i] - b[i])));
+  return m;
+}
+
+// -------------------------------------------------------- analytic cases --
+
+TEST(Fft, LengthOneIsIdentity) {
+  std::vector<cfloat> x{{3.0f, -2.0f}};
+  FftPlan plan(1);
+  plan.transform(x, Direction::kForward);
+  EXPECT_FLOAT_EQ(x[0].real(), 3.0f);
+  EXPECT_FLOAT_EQ(x[0].imag(), -2.0f);
+}
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+  std::vector<cfloat> x(8, cfloat{});
+  x[0] = {1.0f, 0.0f};
+  FftPlan plan(8);
+  plan.transform(x, Direction::kForward);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-6);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-6);
+  }
+}
+
+TEST(Fft, ConstantTransformsToDelta) {
+  std::vector<cfloat> x(16, cfloat{1.0f, 0.0f});
+  FftPlan plan(16);
+  plan.transform(x, Direction::kForward);
+  EXPECT_NEAR(x[0].real(), 16.0f, 1e-5);
+  for (std::size_t k = 1; k < 16; ++k) EXPECT_NEAR(std::abs(x[k]), 0.0f, 1e-5);
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t bin = 5;
+  std::vector<cfloat> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ang = 2.0 * std::numbers::pi * double(bin * t) / double(n);
+    x[t] = {static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang))};
+  }
+  FftPlan plan(n);
+  plan.transform(x, Direction::kForward);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin) {
+      EXPECT_NEAR(std::abs(x[k]), double(n), 1e-3);
+    } else {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-3);
+    }
+  }
+}
+
+TEST(Fft, MatchesNaiveDftPow2) {
+  auto x = random_signal(32, 1);
+  auto expected = naive_dft(x, false);
+  FftPlan plan(32);
+  plan.transform(x, Direction::kForward);
+  EXPECT_LT(max_abs_diff(x, expected), 1e-4);
+}
+
+TEST(Fft, MatchesNaiveDftNonPow2) {
+  for (std::size_t n : {3u, 5u, 6u, 7u, 12u, 15u, 21u, 100u}) {
+    auto x = random_signal(n, 100 + n);
+    auto expected = naive_dft(x, false);
+    FftPlan plan(n);
+    plan.transform(x, Direction::kForward);
+    EXPECT_LT(max_abs_diff(x, expected), 2e-4) << "n=" << n;
+  }
+}
+
+// ------------------------------------------------- parameterized properties --
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseUndoesForward) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 7 * n + 1);
+  const auto original = x;
+  FftPlan plan(n);
+  plan.transform(x, Direction::kForward);
+  plan.transform(x, Direction::kInverse);
+  EXPECT_LT(max_abs_diff(x, original), 1e-4) << "n=" << n;
+}
+
+TEST_P(FftRoundTrip, ParsevalEnergyPreserved) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 13 * n + 5);
+  double time_energy = 0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  FftPlan plan(n);
+  plan.transform(x, Direction::kForward);
+  double freq_energy = 0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / double(n), time_energy, 1e-3 * time_energy + 1e-6);
+}
+
+TEST_P(FftRoundTrip, LinearityHolds) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 17 * n);
+  auto y = random_signal(n, 19 * n);
+  const cfloat alpha{2.0f, -1.0f};
+  std::vector<cfloat> combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = alpha * x[i] + y[i];
+  FftPlan plan(n);
+  plan.transform(x, Direction::kForward);
+  plan.transform(y, Direction::kForward);
+  plan.transform(combo, Direction::kForward);
+  std::vector<cfloat> expected(n);
+  for (std::size_t i = 0; i < n; ++i) expected[i] = alpha * x[i] + y[i];
+  EXPECT_LT(max_abs_diff(combo, expected), 2e-3) << "n=" << n;
+}
+
+TEST_P(FftRoundTrip, TimeShiftBecomesPhaseRamp) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  auto x = random_signal(n, 23 * n);
+  std::vector<cfloat> shifted(n);
+  for (std::size_t i = 0; i < n; ++i) shifted[i] = x[(i + 1) % n];  // x[t+1]
+  FftPlan plan(n);
+  plan.transform(x, Direction::kForward);
+  plan.transform(shifted, Direction::kForward);
+  double max_err = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = 2.0 * std::numbers::pi * double(k) / double(n);
+    const cfloat ramp(static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang)));
+    max_err = std::max(max_err, double(std::abs(shifted[k] - ramp * x[k])));
+  }
+  EXPECT_LT(max_err, 2e-3) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 128, 256, 1024,
+                                           3, 5, 10, 12, 30, 100, 127, 130, 384));
+
+// ------------------------------------------------------------ interfaces --
+
+TEST(Fft, StridedTransformEqualsGathered) {
+  const std::size_t n = 16, stride = 5;
+  auto base = random_signal(n * stride, 31);
+  std::vector<cfloat> gathered(n);
+  for (std::size_t i = 0; i < n; ++i) gathered[i] = base[i * stride];
+  FftPlan plan(n);
+  plan.transform(gathered, Direction::kForward);
+  plan.transform_strided(base.data(), stride, Direction::kForward);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(base[i * stride] - gathered[i]), 0.0, 1e-5);
+  }
+}
+
+TEST(Fft, StridedLeavesOtherElementsUntouched) {
+  const std::size_t n = 8, stride = 3;
+  auto base = random_signal(n * stride, 37);
+  const auto original = base;
+  FftPlan plan(n);
+  plan.transform_strided(base.data(), stride, Direction::kForward);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (i % stride != 0 || i / stride >= n) {
+      EXPECT_EQ(base[i], original[i]) << "index " << i;
+    }
+  }
+}
+
+TEST(Fft, BatchTransformsEachSegment) {
+  const std::size_t n = 32, count = 4;
+  auto data = random_signal(n * count, 41);
+  auto copy = data;
+  FftPlan plan(n);
+  plan.transform_batch(data, count, Direction::kForward);
+  for (std::size_t b = 0; b < count; ++b) {
+    std::vector<cfloat> seg(copy.begin() + b * n, copy.begin() + (b + 1) * n);
+    plan.transform(seg, Direction::kForward);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(data[b * n + i] - seg[i]), 0.0, 1e-5);
+    }
+  }
+}
+
+TEST(Fft, OneShotHelperMatchesPlan) {
+  auto x = random_signal(64, 43);
+  auto y = x;
+  FftPlan plan(64);
+  plan.transform(x, Direction::kForward);
+  transform(y, Direction::kForward);
+  EXPECT_LT(max_abs_diff(x, y), 1e-7);
+}
+
+TEST(Fft, MultiplySpectraIsElementwise) {
+  std::vector<cfloat> a{{1, 0}, {0, 1}, {2, 2}};
+  std::vector<cfloat> b{{2, 0}, {0, 1}, {1, -1}};
+  multiply_spectra(a, b);
+  EXPECT_EQ(a[0], (cfloat{2, 0}));
+  EXPECT_EQ(a[1], (cfloat{-1, 0}));
+  EXPECT_EQ(a[2], (cfloat{4, 0}));
+}
+
+// ------------------------------------------------------------ error paths --
+
+TEST(Fft, RejectsZeroLengthPlan) {
+  EXPECT_THROW(FftPlan(0), PreconditionError);
+}
+
+TEST(Fft, RejectsMismatchedBuffer) {
+  FftPlan plan(8);
+  std::vector<cfloat> wrong(7);
+  EXPECT_THROW(plan.transform(wrong, Direction::kForward), PreconditionError);
+}
+
+TEST(Fft, RejectsBadBatchSize) {
+  FftPlan plan(8);
+  std::vector<cfloat> data(20);
+  EXPECT_THROW(plan.transform_batch(data, 2, Direction::kForward), PreconditionError);
+}
+
+TEST(Fft, RejectsMismatchedSpectra) {
+  std::vector<cfloat> a(4), b(5);
+  EXPECT_THROW(multiply_spectra(a, b), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pstap::fft

@@ -1,0 +1,451 @@
+// Tests for the discrete-event simulator: event-queue semantics, machine
+// presets, the cost model's reproduction of the paper's analytic claims
+// (eqs. 6-11: combined-task time, throughput invariance, I/O bottleneck vs
+// stripe factor, async-vs-sync overlap), and SimRunner's steady-state
+// measurements matching the closed-form equations (1)-(4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_runner.hpp"
+
+namespace pstap::sim {
+namespace {
+
+using pipeline::IoStrategy;
+using pipeline::PipelineSpec;
+using pipeline::TaskKind;
+using pipeline::proportional_assignment;
+
+stap::RadarParams paper_params() { return stap::RadarParams{}; }
+
+// ------------------------------------------------------------ event queue --
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(1.0, [&, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10) q.schedule_in(1.0, chain);
+  };
+  q.schedule_in(0.0, chain);
+  q.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RejectsPastEvents) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule_at(4.0, [] {}), PreconditionError);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), PreconditionError);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+// -------------------------------------------------------------- machines --
+
+TEST(Machine, ParagonPresets) {
+  const auto m16 = paragon_like(16);
+  const auto m64 = paragon_like(64);
+  EXPECT_TRUE(m16.async_io);
+  EXPECT_EQ(m16.stripe_factor, 16u);
+  EXPECT_EQ(m64.stripe_factor, 64u);
+  EXPECT_EQ(m16.node_flops, m64.node_flops);
+}
+
+TEST(Machine, SpPresetIsFasterButSyncOnly) {
+  const auto sp = sp_like();
+  const auto pg = paragon_like(16);
+  EXPECT_GT(sp.node_flops, 2 * pg.node_flops);
+  EXPECT_FALSE(sp.async_io);
+  EXPECT_EQ(sp.stripe_factor, 80u);
+}
+
+// -------------------------------------------------------------- cost model --
+
+TEST(CostModel, ComputeTimeScalesInverselyWithNodes) {
+  const auto p = paper_params();
+  const auto machine = paragon_like(64);
+  const auto spec1 = proportional_assignment(p, 25, IoStrategy::kEmbedded, false);
+  const auto spec2 = proportional_assignment(p, 100, IoStrategy::kEmbedded, false);
+  const CostModel small(spec1, machine);
+  const CostModel large(spec2, machine);
+  // Per-task compute shrinks when its node count grows (W/P term).
+  for (std::size_t i = 0; i < spec1.tasks.size(); ++i) {
+    if (spec2.tasks[i].nodes > 2 * spec1.tasks[i].nodes) {
+      EXPECT_LT(large.cost(i).compute, small.cost(i).compute)
+          << task_name(spec1.tasks[i].kind);
+    }
+  }
+}
+
+TEST(CostModel, CombinedTaskBeatsSplitTasks) {
+  // Paper eq. 11: T_{5+6} < T_5 + T_6 at equal total nodes.
+  const auto p = paper_params();
+  const auto machine = paragon_like(64);
+  const auto split = PipelineSpec::embedded_io(p, {8, 2, 6, 4, 10, 6, 4});
+  const auto merged = PipelineSpec::combined(p, {8, 2, 6, 4, 10, 10});
+  const CostModel cm_split(split, machine);
+  const CostModel cm_merged(merged, machine);
+  const Seconds t5 = cm_split.cost(5).total();
+  const Seconds t6 = cm_split.cost(6).total();
+  const Seconds t56 = cm_merged.cost(5).total();
+  EXPECT_LT(t56, t5 + t6);
+}
+
+TEST(CostModel, IoReadTimeImprovesWithStripeFactor) {
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 100, IoStrategy::kEmbedded, false);
+  const CostModel sf16(spec, paragon_like(16));
+  const CostModel sf64(spec, paragon_like(64));
+  EXPECT_GT(sf16.io_read_time(8), 2.0 * sf64.io_read_time(8));
+}
+
+TEST(CostModel, AsyncOverlapHidesIoWhenComputeDominates) {
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 25, IoStrategy::kEmbedded, false);
+  auto machine = paragon_like(64);
+  const CostModel async_model(spec, machine);
+  machine.async_io = false;
+  const CostModel sync_model(spec, machine);
+  const std::size_t dop = static_cast<std::size_t>(spec.find(TaskKind::kDoppler));
+  // Sync pays io + compute + send; async pays max of the two.
+  EXPECT_LT(async_model.cost(dop).occupancy, sync_model.cost(dop).occupancy);
+  EXPECT_DOUBLE_EQ(sync_model.cost(dop).receive, sync_model.cost(dop).io);
+}
+
+TEST(CostModel, EmbeddedReceivePhaseBalloonsWhenIoBound) {
+  // The paper's observation: with a small stripe factor at high node
+  // counts, the Doppler task's receive phase grows (I/O residual) while
+  // compute/send stay the same.
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 100, IoStrategy::kEmbedded, false);
+  const CostModel sf16(spec, paragon_like(16));
+  const CostModel sf64(spec, paragon_like(64));
+  const std::size_t dop = static_cast<std::size_t>(spec.find(TaskKind::kDoppler));
+  EXPECT_GT(sf16.cost(dop).receive, sf64.cost(dop).receive);
+  EXPECT_NEAR(sf16.cost(dop).compute, sf64.cost(dop).compute, 1e-12);
+}
+
+TEST(CostModel, SeparateIoReadTaskCarriesTheIo) {
+  const auto p = paper_params();
+  const auto spec =
+      proportional_assignment(p, 100, IoStrategy::kSeparateTask, false, 8);
+  const CostModel cm(spec, paragon_like(16));
+  const auto read = cm.cost(0);
+  EXPECT_EQ(read.kind, TaskKind::kParallelRead);
+  EXPECT_GT(read.io, 0.0);
+  const std::size_t dop = static_cast<std::size_t>(spec.find(TaskKind::kDoppler));
+  EXPECT_DOUBLE_EQ(cm.cost(dop).io, 0.0);
+  EXPECT_GT(cm.cost(dop).receive, 0.0);  // network receive from the read task
+}
+
+TEST(CostModel, AllCostsPositiveAndFinite) {
+  const auto p = paper_params();
+  for (const auto io : {IoStrategy::kEmbedded, IoStrategy::kSeparateTask}) {
+    const auto spec = proportional_assignment(p, 50, io, false,
+                                              io == IoStrategy::kSeparateTask ? 4 : 0);
+    const CostModel cm(spec, sp_like());
+    for (const auto& c : cm.all()) {
+      EXPECT_GE(c.receive, 0.0);
+      EXPECT_GT(c.compute, 0.0);
+      EXPECT_GE(c.send, 0.0);
+      EXPECT_GT(c.occupancy, 0.0);
+      EXPECT_TRUE(std::isfinite(c.total()));
+    }
+  }
+}
+
+// -------------------------------------------------------------- sim runner --
+
+TEST(SimRunnerTest, ThroughputMatchesBottleneckEquation) {
+  // Paper eq. 1: throughput = 1 / max_i T_i (occupancy in our model).
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  SimRunner runner(spec, paragon_like(64));
+  const SimResult result = runner.run();
+  Seconds t_max = 0;
+  for (const auto& c : result.costs) t_max = std::max(t_max, c.occupancy);
+  EXPECT_NEAR(result.measured_throughput, 1.0 / t_max, 1e-6 / t_max);
+}
+
+TEST(SimRunnerTest, LatencyMatchesPaperEquationTwo) {
+  // latency = T_doppler + max(T_bf_e, T_bf_h) + T_pc + T_cfar, using stage
+  // occupancies in the deterministic steady state.
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  SimRunner runner(spec, paragon_like(64));
+  const SimResult result = runner.run();
+  auto occ = [&](TaskKind k) {
+    for (const auto& c : result.costs) {
+      if (c.kind == k) return c.occupancy;
+    }
+    return Seconds{0};
+  };
+  const Seconds expect = occ(TaskKind::kDoppler) +
+                         std::max(occ(TaskKind::kBeamformEasy),
+                                  occ(TaskKind::kBeamformHard)) +
+                         occ(TaskKind::kPulseCompression) + occ(TaskKind::kCfar);
+  EXPECT_NEAR(result.measured_latency, expect, 1e-9 + 0.05 * expect);
+}
+
+TEST(SimRunnerTest, SeparateIoHasSameThroughputWorseLatency) {
+  // The paper's Table 1 vs Table 2 comparison.
+  const auto p = paper_params();
+  const auto machine = paragon_like(64);
+  const auto embedded = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  const auto separate =
+      proportional_assignment(p, 50, IoStrategy::kSeparateTask, false, 4);
+  const SimResult a = SimRunner(embedded, machine).run();
+  const SimResult b = SimRunner(separate, machine).run();
+  EXPECT_NEAR(b.measured_throughput, a.measured_throughput,
+              0.1 * a.measured_throughput);
+  EXPECT_GT(b.measured_latency, a.measured_latency);
+}
+
+TEST(SimRunnerTest, SmallStripeFactorBottlenecksAtScale) {
+  // Paper Table 1: sf=16 throughput stalls at 100 nodes; sf=64 keeps scaling.
+  const auto p = paper_params();
+  auto run = [&](int total, std::size_t sf) {
+    const auto spec = proportional_assignment(p, total, IoStrategy::kEmbedded, false);
+    return SimRunner(spec, paragon_like(sf)).run().measured_throughput;
+  };
+  const double t16_50 = run(50, 16), t16_100 = run(100, 16);
+  const double t64_50 = run(50, 64), t64_100 = run(100, 64);
+  // sf=64 scales close to 2x; sf=16 clearly does not.
+  EXPECT_GT(t64_100 / t64_50, 1.7);
+  EXPECT_LT(t16_100 / t16_50, 1.5);
+  // And at 100 nodes the large stripe factor wins outright.
+  EXPECT_GT(t64_100, 1.2 * t16_100);
+}
+
+TEST(SimRunnerTest, LatencyBarelyAffectedByIoBottleneck) {
+  // Paper §5.1: the I/O bottleneck hurts throughput, not latency (the
+  // Doppler stage's receive residual is hidden by prefetching; only the
+  // occupancy grows). Latencies should stay within a modest factor.
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 100, IoStrategy::kEmbedded, false);
+  const SimResult sf16 = SimRunner(spec, paragon_like(16)).run();
+  const SimResult sf64 = SimRunner(spec, paragon_like(64)).run();
+  const double latency_penalty = sf16.measured_latency / sf64.measured_latency;
+  const double throughput_penalty =
+      sf64.measured_throughput / sf16.measured_throughput;
+  EXPECT_GT(throughput_penalty, 1.2);                 // throughput clearly hurt
+  EXPECT_LT(latency_penalty, 2.0);                    // latency only mildly
+  EXPECT_GT(throughput_penalty, 1.3 * latency_penalty);  // and much less than thr.
+}
+
+TEST(SimRunnerTest, SpScalesWorseThanParagonDespiteFasterCpus) {
+  // Paper §5.1: PIOFS' missing async reads hurt scaling even though the
+  // SP's CPUs are ~4x faster.
+  const auto p = paper_params();
+  auto scaling = [&](const MachineModel& m) {
+    const auto s25 = proportional_assignment(p, 25, IoStrategy::kEmbedded, false);
+    const auto s100 = proportional_assignment(p, 100, IoStrategy::kEmbedded, false);
+    const double t25 = SimRunner(s25, m).run().measured_throughput;
+    const double t100 = SimRunner(s100, m).run().measured_throughput;
+    return t100 / t25;
+  };
+  EXPECT_GT(scaling(paragon_like(64)), 1.2 * scaling(sp_like()));
+}
+
+TEST(SimRunnerTest, CombiningTasksImprovesLatencyNotThroughput) {
+  // Paper Table 3/4 and §6: merge PC+CFAR at equal total nodes.
+  const auto p = paper_params();
+  const auto machine = paragon_like(64);
+  const auto split = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  // Same totals: give the merged task the sum of the split tasks' nodes.
+  std::vector<int> merged_nodes;
+  for (std::size_t i = 0; i + 2 < split.tasks.size(); ++i) {
+    merged_nodes.push_back(split.tasks[i].nodes);
+  }
+  merged_nodes.push_back(split.tasks[split.tasks.size() - 2].nodes +
+                         split.tasks.back().nodes);
+  const auto merged = PipelineSpec::combined(p, merged_nodes);
+  ASSERT_EQ(merged.total_nodes(), split.total_nodes());
+
+  const SimResult a = SimRunner(split, machine).run();
+  const SimResult b = SimRunner(merged, machine).run();
+  EXPECT_LT(b.measured_latency, a.measured_latency);
+  EXPECT_GE(b.measured_throughput, 0.99 * a.measured_throughput);
+}
+
+TEST(SimRunnerTest, LatencyImprovementShrinksWithNodeCount) {
+  // Paper Table 4: the combination gain decreases as nodes increase.
+  const auto p = paper_params();
+  const auto machine = paragon_like(16);
+  auto improvement = [&](int total) {
+    const auto split = proportional_assignment(p, total, IoStrategy::kEmbedded, false);
+    std::vector<int> merged_nodes;
+    for (std::size_t i = 0; i + 2 < split.tasks.size(); ++i)
+      merged_nodes.push_back(split.tasks[i].nodes);
+    merged_nodes.push_back(split.tasks[split.tasks.size() - 2].nodes +
+                           split.tasks.back().nodes);
+    const auto merged = PipelineSpec::combined(p, merged_nodes);
+    const double lat_split = SimRunner(split, machine).run().measured_latency;
+    const double lat_merged = SimRunner(merged, machine).run().measured_latency;
+    return (lat_split - lat_merged) / lat_split;
+  };
+  const double i25 = improvement(25);
+  const double i100 = improvement(100);
+  EXPECT_GT(i25, 0.0);
+  EXPECT_GT(i100, 0.0);
+  EXPECT_GT(i25, i100);
+}
+
+TEST(SimRunnerTest, CombiningTheBottleneckImprovesBothMetrics) {
+  // Paper §6.2: when one of the combined tasks determines the throughput,
+  // merging improves throughput AND latency simultaneously. Starve the
+  // tail tasks to make pulse compression the bottleneck.
+  const auto p = paper_params();
+  const auto machine = paragon_like(64);
+  const auto balanced = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  std::vector<int> split_nodes, merged_nodes;
+  for (std::size_t i = 0; i + 2 < balanced.tasks.size(); ++i) {
+    split_nodes.push_back(balanced.tasks[i].nodes);
+    merged_nodes.push_back(balanced.tasks[i].nodes);
+  }
+  split_nodes.push_back(2);  // PC starved -> bottleneck
+  split_nodes.push_back(2);  // CFAR
+  merged_nodes.push_back(4);
+
+  const auto split = PipelineSpec::embedded_io(p, split_nodes);
+  const auto merged = PipelineSpec::combined(p, merged_nodes);
+  const SimResult a = SimRunner(split, machine).run();
+  const SimResult b = SimRunner(merged, machine).run();
+
+  // Verify the premise: PC (or CFAR) really is the bottleneck in the split.
+  Seconds t_max = 0, t_tail = 0;
+  for (const auto& c : a.costs) {
+    t_max = std::max(t_max, c.occupancy);
+    if (c.kind == TaskKind::kPulseCompression || c.kind == TaskKind::kCfar) {
+      t_tail = std::max(t_tail, c.occupancy);
+    }
+  }
+  ASSERT_DOUBLE_EQ(t_max, t_tail);
+
+  EXPECT_GT(b.measured_throughput, 1.05 * a.measured_throughput);
+  EXPECT_LT(b.measured_latency, a.measured_latency);
+}
+
+TEST(SimRunnerTest, UtilizationBoundedAndBottleneckSaturated) {
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  const SimResult r = SimRunner(spec, paragon_like(64)).run();
+  ASSERT_EQ(r.utilization.size(), spec.tasks.size());
+  double max_util = 0;
+  for (const double u : r.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-6);
+    max_util = std::max(max_util, u);
+  }
+  EXPECT_GT(max_util, 0.9);  // someone is the bottleneck
+}
+
+TEST(SimRunnerTest, SlowerInputPeriodLowersThroughputNotLatency) {
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  SimOptions slow;
+  slow.input_period = 2.0;  // radar slower than the pipeline
+  const SimResult fast = SimRunner(spec, paragon_like(64)).run();
+  const SimResult idle = SimRunner(spec, paragon_like(64), slow).run();
+  EXPECT_NEAR(idle.measured_throughput, 0.5, 0.01);
+  EXPECT_NEAR(idle.measured_latency, fast.measured_latency,
+              0.05 * fast.measured_latency);
+}
+
+TEST(SimRunnerTest, ReplicatingTheBottleneckScalesThroughput) {
+  // Round-robin task replication (the paper's Figs. 3-4 scheduling boxes):
+  // two instances of the bottleneck task double its sustainable rate
+  // without changing per-CPI latency.
+  const auto p = paper_params();
+  const auto machine = paragon_like(64);
+  // Starve hard beamforming so it is the clear bottleneck.
+  auto spec = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  spec.tasks[static_cast<std::size_t>(spec.find(TaskKind::kBeamformHard))].nodes = 1;
+
+  const SimResult base = SimRunner(spec, machine).run();
+  Seconds t_max = 0, t_bh = 0;
+  for (const auto& c : base.costs) {
+    t_max = std::max(t_max, c.occupancy);
+    if (c.kind == TaskKind::kBeamformHard) t_bh = c.occupancy;
+  }
+  ASSERT_DOUBLE_EQ(t_max, t_bh);  // premise: hard BF is the bottleneck
+
+  SimOptions opt;
+  opt.replicas[TaskKind::kBeamformHard] = 2;
+  const SimResult replicated = SimRunner(spec, machine, opt).run();
+  EXPECT_GT(replicated.measured_throughput, 1.3 * base.measured_throughput);
+  EXPECT_NEAR(replicated.measured_latency, base.measured_latency,
+              0.05 * base.measured_latency);
+}
+
+TEST(SimRunnerTest, ReplicationOfIoTasksIsRejected) {
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  SimOptions opt;
+  opt.replicas[TaskKind::kDoppler] = 2;  // embedded I/O: reads files
+  EXPECT_THROW(SimRunner(spec, paragon_like(64), opt).run(), PreconditionError);
+
+  // With a separate read task, the Doppler task no longer reads files and
+  // may be replicated; the read task itself may not.
+  const auto sep = proportional_assignment(p, 50, IoStrategy::kSeparateTask, false, 6);
+  EXPECT_NO_THROW(SimRunner(sep, paragon_like(64), opt).run());
+  SimOptions opt2;
+  opt2.replicas[TaskKind::kParallelRead] = 2;
+  EXPECT_THROW(SimRunner(sep, paragon_like(64), opt2).run(), PreconditionError);
+}
+
+TEST(SimRunnerTest, RejectsBadOptions) {
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 25, IoStrategy::kEmbedded, false);
+  SimOptions opt;
+  opt.cpis = 1;
+  EXPECT_THROW(SimRunner(spec, paragon_like(16), opt), PreconditionError);
+  opt = SimOptions{};
+  opt.warmup = opt.cpis;
+  EXPECT_THROW(SimRunner(spec, paragon_like(16), opt), PreconditionError);
+  opt = SimOptions{};
+  opt.input_period = -1;
+  EXPECT_THROW(SimRunner(spec, paragon_like(16), opt), PreconditionError);
+}
+
+TEST(SimRunnerTest, DeterministicAcrossRuns) {
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  const SimResult a = SimRunner(spec, paragon_like(16)).run();
+  const SimResult b = SimRunner(spec, paragon_like(16)).run();
+  EXPECT_DOUBLE_EQ(a.measured_throughput, b.measured_throughput);
+  EXPECT_DOUBLE_EQ(a.measured_latency, b.measured_latency);
+}
+
+}  // namespace
+}  // namespace pstap::sim

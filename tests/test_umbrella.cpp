@@ -1,0 +1,27 @@
+// Compile-level test: the umbrella header exposes the whole public API.
+#include <gtest/gtest.h>
+
+#include "pstap.hpp"
+
+namespace {
+
+TEST(Umbrella, ExposesEveryModule) {
+  const pstap::stap::RadarParams params = pstap::stap::RadarParams::test_small();
+  pstap::stap::StapChain chain(params);
+  EXPECT_EQ(chain.cpis_processed(), 0u);
+
+  const pstap::sim::MachineModel machine = pstap::sim::paragon_like(16);
+  EXPECT_TRUE(machine.async_io);
+
+  const auto spec = pstap::pipeline::proportional_assignment(
+      pstap::stap::RadarParams{}, 25, pstap::pipeline::IoStrategy::kEmbedded, false);
+  EXPECT_EQ(spec.total_nodes(), 25);
+
+  pstap::fft::FftPlan plan(8);
+  EXPECT_EQ(plan.size(), 8u);
+
+  pstap::Rng rng(1);
+  EXPECT_NE(rng.next_u64(), 0u);
+}
+
+}  // namespace
