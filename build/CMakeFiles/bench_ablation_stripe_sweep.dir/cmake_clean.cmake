@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stripe_sweep.dir/bench/bench_ablation_stripe_sweep.cpp.o"
+  "CMakeFiles/bench_ablation_stripe_sweep.dir/bench/bench_ablation_stripe_sweep.cpp.o.d"
+  "bench/bench_ablation_stripe_sweep"
+  "bench/bench_ablation_stripe_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stripe_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_separate_io_chart.dir/bench/bench_fig6_separate_io_chart.cpp.o"
+  "CMakeFiles/bench_fig6_separate_io_chart.dir/bench/bench_fig6_separate_io_chart.cpp.o.d"
+  "bench/bench_fig6_separate_io_chart"
+  "bench/bench_fig6_separate_io_chart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_separate_io_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functional_pipeline.dir/bench/bench_functional_pipeline.cpp.o"
+  "CMakeFiles/bench_functional_pipeline.dir/bench/bench_functional_pipeline.cpp.o.d"
+  "bench/bench_functional_pipeline"
+  "bench/bench_functional_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functional_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pfs.dir/bench/bench_pfs.cpp.o"
+  "CMakeFiles/bench_pfs.dir/bench/bench_pfs.cpp.o.d"
+  "bench/bench_pfs"
+  "bench/bench_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

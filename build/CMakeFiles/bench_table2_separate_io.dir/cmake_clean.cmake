@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_separate_io.dir/bench/bench_table2_separate_io.cpp.o"
+  "CMakeFiles/bench_table2_separate_io.dir/bench/bench_table2_separate_io.cpp.o.d"
+  "bench/bench_table2_separate_io"
+  "bench/bench_table2_separate_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_separate_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

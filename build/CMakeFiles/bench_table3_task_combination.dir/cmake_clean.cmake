@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_task_combination.dir/bench/bench_table3_task_combination.cpp.o"
+  "CMakeFiles/bench_table3_task_combination.dir/bench/bench_table3_task_combination.cpp.o.d"
+  "bench/bench_table3_task_combination"
+  "bench/bench_table3_task_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_task_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_latency_improvement.dir/bench/bench_table4_latency_improvement.cpp.o"
+  "CMakeFiles/bench_table4_latency_improvement.dir/bench/bench_table4_latency_improvement.cpp.o.d"
+  "bench/bench_table4_latency_improvement"
+  "bench/bench_table4_latency_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_latency_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_replay.dir/detection_replay.cpp.o"
+  "CMakeFiles/detection_replay.dir/detection_replay.cpp.o.d"
+  "detection_replay"
+  "detection_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

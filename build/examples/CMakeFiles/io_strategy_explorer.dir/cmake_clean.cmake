@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_strategy_explorer.dir/io_strategy_explorer.cpp.o"
+  "CMakeFiles/io_strategy_explorer.dir/io_strategy_explorer.cpp.o.d"
+  "io_strategy_explorer"
+  "io_strategy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_strategy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_stream.dir/radar_stream.cpp.o"
+  "CMakeFiles/radar_stream.dir/radar_stream.cpp.o.d"
+  "radar_stream"
+  "radar_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_fusion_study.dir/task_fusion_study.cpp.o"
+  "CMakeFiles/task_fusion_study.dir/task_fusion_study.cpp.o.d"
+  "task_fusion_study"
+  "task_fusion_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_fusion_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

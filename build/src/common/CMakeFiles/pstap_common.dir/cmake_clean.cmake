@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstap_common.dir/error.cpp.o"
+  "CMakeFiles/pstap_common.dir/error.cpp.o.d"
+  "CMakeFiles/pstap_common.dir/table.cpp.o"
+  "CMakeFiles/pstap_common.dir/table.cpp.o.d"
+  "libpstap_common.a"
+  "libpstap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstap_fft.dir/fft.cpp.o"
+  "CMakeFiles/pstap_fft.dir/fft.cpp.o.d"
+  "libpstap_fft.a"
+  "libpstap_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstap_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstap_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/pstap_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/pstap_linalg.dir/qr.cpp.o"
+  "CMakeFiles/pstap_linalg.dir/qr.cpp.o.d"
+  "libpstap_linalg.a"
+  "libpstap_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstap_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstap_mp.dir/comm.cpp.o"
+  "CMakeFiles/pstap_mp.dir/comm.cpp.o.d"
+  "CMakeFiles/pstap_mp.dir/world.cpp.o"
+  "CMakeFiles/pstap_mp.dir/world.cpp.o.d"
+  "libpstap_mp.a"
+  "libpstap_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstap_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

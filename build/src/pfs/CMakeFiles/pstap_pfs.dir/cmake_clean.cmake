@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstap_pfs.dir/io_engine.cpp.o"
+  "CMakeFiles/pstap_pfs.dir/io_engine.cpp.o.d"
+  "CMakeFiles/pstap_pfs.dir/striped_file_system.cpp.o"
+  "CMakeFiles/pstap_pfs.dir/striped_file_system.cpp.o.d"
+  "libpstap_pfs.a"
+  "libpstap_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstap_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstap_pipeline.dir/collective_read.cpp.o"
+  "CMakeFiles/pstap_pipeline.dir/collective_read.cpp.o.d"
+  "CMakeFiles/pstap_pipeline.dir/metrics.cpp.o"
+  "CMakeFiles/pstap_pipeline.dir/metrics.cpp.o.d"
+  "CMakeFiles/pstap_pipeline.dir/task_spec.cpp.o"
+  "CMakeFiles/pstap_pipeline.dir/task_spec.cpp.o.d"
+  "CMakeFiles/pstap_pipeline.dir/thread_runner.cpp.o"
+  "CMakeFiles/pstap_pipeline.dir/thread_runner.cpp.o.d"
+  "libpstap_pipeline.a"
+  "libpstap_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstap_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstap_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/pstap_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pstap_sim.dir/machine.cpp.o"
+  "CMakeFiles/pstap_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/pstap_sim.dir/sim_runner.cpp.o"
+  "CMakeFiles/pstap_sim.dir/sim_runner.cpp.o.d"
+  "libpstap_sim.a"
+  "libpstap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stap/beamform.cpp" "src/stap/CMakeFiles/pstap_stap.dir/beamform.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/beamform.cpp.o.d"
+  "/root/repo/src/stap/cfar.cpp" "src/stap/CMakeFiles/pstap_stap.dir/cfar.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/cfar.cpp.o.d"
+  "/root/repo/src/stap/chain.cpp" "src/stap/CMakeFiles/pstap_stap.dir/chain.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/chain.cpp.o.d"
+  "/root/repo/src/stap/cube_io.cpp" "src/stap/CMakeFiles/pstap_stap.dir/cube_io.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/cube_io.cpp.o.d"
+  "/root/repo/src/stap/data_cube.cpp" "src/stap/CMakeFiles/pstap_stap.dir/data_cube.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/data_cube.cpp.o.d"
+  "/root/repo/src/stap/detection_log.cpp" "src/stap/CMakeFiles/pstap_stap.dir/detection_log.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/detection_log.cpp.o.d"
+  "/root/repo/src/stap/doppler.cpp" "src/stap/CMakeFiles/pstap_stap.dir/doppler.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/doppler.cpp.o.d"
+  "/root/repo/src/stap/pulse_compress.cpp" "src/stap/CMakeFiles/pstap_stap.dir/pulse_compress.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/pulse_compress.cpp.o.d"
+  "/root/repo/src/stap/radar_params.cpp" "src/stap/CMakeFiles/pstap_stap.dir/radar_params.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/radar_params.cpp.o.d"
+  "/root/repo/src/stap/scene.cpp" "src/stap/CMakeFiles/pstap_stap.dir/scene.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/scene.cpp.o.d"
+  "/root/repo/src/stap/steering.cpp" "src/stap/CMakeFiles/pstap_stap.dir/steering.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/steering.cpp.o.d"
+  "/root/repo/src/stap/weights.cpp" "src/stap/CMakeFiles/pstap_stap.dir/weights.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/weights.cpp.o.d"
+  "/root/repo/src/stap/workload.cpp" "src/stap/CMakeFiles/pstap_stap.dir/workload.cpp.o" "gcc" "src/stap/CMakeFiles/pstap_stap.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/pstap_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/pstap_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pstap_pfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstap_stap.dir/beamform.cpp.o"
+  "CMakeFiles/pstap_stap.dir/beamform.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/cfar.cpp.o"
+  "CMakeFiles/pstap_stap.dir/cfar.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/chain.cpp.o"
+  "CMakeFiles/pstap_stap.dir/chain.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/cube_io.cpp.o"
+  "CMakeFiles/pstap_stap.dir/cube_io.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/data_cube.cpp.o"
+  "CMakeFiles/pstap_stap.dir/data_cube.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/detection_log.cpp.o"
+  "CMakeFiles/pstap_stap.dir/detection_log.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/doppler.cpp.o"
+  "CMakeFiles/pstap_stap.dir/doppler.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/pulse_compress.cpp.o"
+  "CMakeFiles/pstap_stap.dir/pulse_compress.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/radar_params.cpp.o"
+  "CMakeFiles/pstap_stap.dir/radar_params.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/scene.cpp.o"
+  "CMakeFiles/pstap_stap.dir/scene.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/steering.cpp.o"
+  "CMakeFiles/pstap_stap.dir/steering.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/weights.cpp.o"
+  "CMakeFiles/pstap_stap.dir/weights.cpp.o.d"
+  "CMakeFiles/pstap_stap.dir/workload.cpp.o"
+  "CMakeFiles/pstap_stap.dir/workload.cpp.o.d"
+  "libpstap_stap.a"
+  "libpstap_stap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstap_stap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

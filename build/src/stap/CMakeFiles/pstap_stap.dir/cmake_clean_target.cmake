@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpstap_stap.a"
+)

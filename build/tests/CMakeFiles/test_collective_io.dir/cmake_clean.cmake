@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective_io.dir/test_collective_io.cpp.o"
+  "CMakeFiles/test_collective_io.dir/test_collective_io.cpp.o.d"
+  "test_collective_io"
+  "test_collective_io.pdb"
+  "test_collective_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

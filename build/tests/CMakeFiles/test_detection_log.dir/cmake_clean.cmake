@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detection_log.dir/test_detection_log.cpp.o"
+  "CMakeFiles/test_detection_log.dir/test_detection_log.cpp.o.d"
+  "test_detection_log"
+  "test_detection_log.pdb"
+  "test_detection_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detection_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stap.dir/test_stap.cpp.o"
+  "CMakeFiles/test_stap.dir/test_stap.cpp.o.d"
+  "test_stap"
+  "test_stap.pdb"
+  "test_stap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
