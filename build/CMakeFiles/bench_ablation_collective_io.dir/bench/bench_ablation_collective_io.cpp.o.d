@@ -282,9 +282,11 @@ CMakeFiles/bench_ablation_collective_io.dir/bench/bench_ablation_collective_io.c
  /root/repo/src/common/../mp/message.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/../pipeline/collective_read.hpp \
+ /root/repo/src/common/../common/retry.hpp /usr/include/c++/12/thread \
+ /root/repo/src/common/../common/fault.hpp \
  /root/repo/src/common/../pfs/striped_file_system.hpp \
  /root/repo/src/common/../pfs/config.hpp \
- /root/repo/src/common/../pfs/io_engine.hpp /usr/include/c++/12/thread \
+ /root/repo/src/common/../pfs/io_engine.hpp \
  /root/repo/src/common/../pfs/striped_file.hpp \
  /root/repo/src/common/../stap/cube_io.hpp \
  /root/repo/src/common/../stap/data_cube.hpp \

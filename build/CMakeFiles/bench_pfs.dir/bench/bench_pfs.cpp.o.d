@@ -246,7 +246,7 @@ CMakeFiles/bench_pfs.dir/bench/bench_pfs.cpp.o: \
  /root/repo/src/common/../pfs/striped_file_system.hpp \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/../pfs/config.hpp \
- /root/repo/src/common/../pfs/io_engine.hpp \
+ /root/repo/src/common/../pfs/io_engine.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -262,5 +262,8 @@ CMakeFiles/bench_pfs.dir/bench/bench_pfs.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/thread \
+ /root/repo/src/common/../common/retry.hpp \
+ /root/repo/src/common/../common/error.hpp \
+ /root/repo/src/common/../common/fault.hpp \
  /root/repo/src/common/../pfs/striped_file.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/pstap_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/pstap_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/fault.cpp" "src/common/CMakeFiles/pstap_common.dir/fault.cpp.o" "gcc" "src/common/CMakeFiles/pstap_common.dir/fault.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/pstap_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/pstap_common.dir/table.cpp.o.d"
   )
 

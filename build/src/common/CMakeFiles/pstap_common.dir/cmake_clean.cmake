@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/pstap_common.dir/error.cpp.o"
   "CMakeFiles/pstap_common.dir/error.cpp.o.d"
+  "CMakeFiles/pstap_common.dir/fault.cpp.o"
+  "CMakeFiles/pstap_common.dir/fault.cpp.o.d"
   "CMakeFiles/pstap_common.dir/table.cpp.o"
   "CMakeFiles/pstap_common.dir/table.cpp.o.d"
   "libpstap_common.a"

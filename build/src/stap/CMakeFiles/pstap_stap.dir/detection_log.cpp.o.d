@@ -236,7 +236,7 @@ src/stap/CMakeFiles/pstap_stap.dir/detection_log.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/syscall.h \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
- /usr/include/x86_64-linux-gnu/bits/syscall.h \
+ /usr/include/x86_64-linux-gnu/bits/syscall.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -254,11 +254,20 @@ src/stap/CMakeFiles/pstap_stap.dir/detection_log.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/thread \
+ /root/repo/src/stap/../common/retry.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/stap/../common/error.hpp \
+ /root/repo/src/stap/../common/fault.hpp \
  /root/repo/src/stap/../pfs/striped_file.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/stap/../stap/cfar.hpp \
  /root/repo/src/stap/../stap/data_cube.hpp \
  /root/repo/src/stap/../common/aligned_buffer.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/stap/../common/error.hpp \
  /root/repo/src/stap/../stap/radar_params.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h

@@ -339,9 +339,11 @@ tests/CMakeFiles/test_collective_io.dir/test_collective_io.cpp.o: \
  /usr/include/c++/12/mutex /root/repo/src/common/../mp/message.hpp \
  /usr/include/c++/12/cstring \
  /root/repo/src/common/../pipeline/collective_read.hpp \
+ /root/repo/src/common/../common/retry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/thread /root/repo/src/common/../common/fault.hpp \
  /root/repo/src/common/../pfs/striped_file_system.hpp \
  /root/repo/src/common/../pfs/config.hpp \
- /root/repo/src/common/../pfs/io_engine.hpp /usr/include/c++/12/thread \
+ /root/repo/src/common/../pfs/io_engine.hpp \
  /root/repo/src/common/../pfs/striped_file.hpp \
  /root/repo/src/common/../stap/cube_io.hpp \
  /root/repo/src/common/../stap/data_cube.hpp \

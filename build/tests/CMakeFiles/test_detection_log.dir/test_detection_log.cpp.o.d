@@ -325,7 +325,7 @@ tests/CMakeFiles/test_detection_log.dir/test_detection_log.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/common/../pfs/io_engine.hpp \
+ /root/repo/src/common/../pfs/io_engine.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -334,8 +334,13 @@ tests/CMakeFiles/test_detection_log.dir/test_detection_log.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/common/../pfs/striped_file.hpp \
- /usr/include/c++/12/span /root/repo/src/common/../stap/cfar.hpp \
+ /usr/include/c++/12/thread /root/repo/src/common/../common/retry.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/../common/fault.hpp \
+ /root/repo/src/common/../pfs/striped_file.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/../stap/cfar.hpp \
  /root/repo/src/common/../stap/data_cube.hpp \
  /root/repo/src/common/../common/aligned_buffer.hpp \
  /root/repo/src/common/../stap/radar_params.hpp

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_io_engine_stress.cpp" "tests/CMakeFiles/test_io_engine_stress.dir/test_io_engine_stress.cpp.o" "gcc" "tests/CMakeFiles/test_io_engine_stress.dir/test_io_engine_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pstap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/pstap_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pstap_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stap/CMakeFiles/pstap_stap.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/pstap_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/pstap_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/pstap_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

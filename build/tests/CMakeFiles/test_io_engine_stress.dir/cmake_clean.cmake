@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_engine_stress.dir/test_io_engine_stress.cpp.o"
+  "CMakeFiles/test_io_engine_stress.dir/test_io_engine_stress.cpp.o.d"
+  "test_io_engine_stress"
+  "test_io_engine_stress.pdb"
+  "test_io_engine_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_engine_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -342,4 +342,6 @@ tests/CMakeFiles/test_pfs.dir/test_pfs.cpp.o: \
  /root/repo/src/common/../pfs/io_engine.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/../common/retry.hpp \
+ /root/repo/src/common/../common/fault.hpp \
  /root/repo/src/common/../pfs/striped_file.hpp /usr/include/c++/12/span

@@ -330,19 +330,22 @@ tests/CMakeFiles/test_stap.dir/test_stap.cpp.o: \
  /root/repo/src/common/../stap/weights.hpp \
  /root/repo/src/common/../stap/cfar.hpp \
  /root/repo/src/common/../stap/cube_io.hpp \
- /root/repo/src/common/../pfs/striped_file_system.hpp \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/common/../pfs/config.hpp \
- /root/repo/src/common/../pfs/io_engine.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /root/repo/src/common/../common/retry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/../common/fault.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/../pfs/striped_file_system.hpp \
+ /root/repo/src/common/../pfs/config.hpp \
+ /root/repo/src/common/../pfs/io_engine.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/common/../pfs/striped_file.hpp \
+ /root/repo/src/common/../pfs/striped_file.hpp \
  /root/repo/src/common/../stap/doppler.hpp \
  /root/repo/src/common/../fft/fft.hpp \
  /root/repo/src/common/../stap/pulse_compress.hpp \

@@ -348,6 +348,8 @@ tests/CMakeFiles/test_umbrella.dir/test_umbrella.cpp.o: \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /root/repo/src/common/../pfs/io_engine.hpp /usr/include/c++/12/thread \
+ /root/repo/src/common/../common/retry.hpp \
+ /root/repo/src/common/../common/fault.hpp \
  /root/repo/src/common/../pfs/striped_file.hpp \
  /root/repo/src/common/../stap/beamform.hpp \
  /root/repo/src/common/../stap/data_cube.hpp \

@@ -16,3 +16,6 @@ include("/root/repo/build/tests/test_chain[1]_include.cmake")
 include("/root/repo/build/tests/test_collective_io[1]_include.cmake")
 include("/root/repo/build/tests/test_detection_log[1]_include.cmake")
 include("/root/repo/build/tests/test_umbrella[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_io_engine_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")

@@ -1,0 +1,232 @@
+#include "common/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace pstap::fault {
+namespace {
+
+// SplitMix64 finalizer (same mixing as common/rng.hpp). The decision for
+// occurrence i of a rule is a pure function of (seed, rule site, i), so the
+// schedule is reproducible no matter which thread draws which occurrence.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(std::string_view site) {
+  // FNV-1a, folded through mix64 for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+double unit_uniform(std::uint64_t seed, std::uint64_t site_hash,
+                    std::uint64_t occurrence, std::uint64_t salt) {
+  const std::uint64_t bits =
+      mix64(seed ^ mix64(site_hash + salt) ^ mix64(occurrence * 0x9e3779b97f4a7c15ULL + salt));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+// The process-wide installed plan. A relaxed atomic flag keeps inject()
+// one load when no plan is installed (the common case in production runs).
+std::atomic<bool> g_installed{false};
+std::mutex g_plan_mu;
+std::shared_ptr<FaultPlan> g_plan;
+
+std::shared_ptr<FaultPlan> swap_plan(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  std::swap(g_plan, plan);
+  g_installed.store(g_plan != nullptr, std::memory_order_release);
+  return plan;
+}
+
+}  // namespace
+
+bool FaultPlan::rule_matches(const std::string& rule_site,
+                             std::string_view site) {
+  if (site.size() < rule_site.size()) return false;
+  if (site.compare(0, rule_site.size(), rule_site) != 0) return false;
+  return site.size() == rule_site.size() || site[rule_site.size()] == '.';
+}
+
+void FaultPlan::arm_delay(std::string site, double probability,
+                          Seconds min_delay, Seconds max_delay,
+                          std::uint64_t max_hits) {
+  PSTAP_REQUIRE(probability >= 0 && probability <= 1,
+                "fault: delay probability must be in [0,1]");
+  PSTAP_REQUIRE(min_delay >= 0 && max_delay >= min_delay,
+                "fault: delay range must satisfy 0 <= min <= max");
+  auto rule = std::make_unique<Rule>();
+  rule->site = std::move(site);
+  rule->kind = Kind::kDelay;
+  rule->probability = probability;
+  rule->min_delay = min_delay;
+  rule->max_delay = max_delay;
+  rule->max_hits = max_hits;
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+void FaultPlan::arm_transient_error(std::string site, double probability,
+                                    std::uint64_t max_hits) {
+  PSTAP_REQUIRE(probability >= 0 && probability <= 1,
+                "fault: error probability must be in [0,1]");
+  auto rule = std::make_unique<Rule>();
+  rule->site = std::move(site);
+  rule->kind = Kind::kTransient;
+  rule->probability = probability;
+  rule->max_hits = max_hits;
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+void FaultPlan::arm_permanent_error(std::string site,
+                                    std::uint64_t first_occurrence) {
+  auto rule = std::make_unique<Rule>();
+  rule->site = std::move(site);
+  rule->kind = Kind::kPermanent;
+  rule->first_occurrence = first_occurrence;
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+void FaultPlan::arm_partial_read(std::string site, double probability,
+                                 double fraction, std::uint64_t max_hits) {
+  PSTAP_REQUIRE(probability >= 0 && probability <= 1,
+                "fault: partial-read probability must be in [0,1]");
+  PSTAP_REQUIRE(fraction > 0 && fraction < 1,
+                "fault: partial-read fraction must be in (0,1)");
+  auto rule = std::make_unique<Rule>();
+  rule->site = std::move(site);
+  rule->kind = Kind::kPartial;
+  rule->probability = probability;
+  rule->fraction = fraction;
+  rule->max_hits = max_hits;
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+Decision FaultPlan::next(std::string_view site) {
+  Decision decision;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Record the occurrence for this exact site (trace counter).
+  auto it = std::find_if(site_counts_.begin(), site_counts_.end(),
+                         [&](const auto& e) { return e.first == site; });
+  if (it == site_counts_.end()) {
+    site_counts_.emplace_back(std::string(site), 1);
+  } else {
+    ++it->second;
+  }
+
+  for (const auto& rule_ptr : rules_) {
+    Rule& rule = *rule_ptr;
+    if (!rule_matches(rule.site, site)) continue;
+    const std::uint64_t occurrence =
+        rule.matched.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t site_hash = hash_site(rule.site);
+
+    switch (rule.kind) {
+      case Kind::kDelay: {
+        if (rule.max_hits && rule.hits.load(std::memory_order_relaxed) >= rule.max_hits) break;
+        const double draw =
+            unit_uniform(seed_, site_hash, occurrence, /*salt=*/0x11);
+        if (draw < rule.probability) {
+          const double frac =
+              unit_uniform(seed_, site_hash, occurrence, /*salt=*/0x12);
+          const Seconds d =
+              rule.min_delay + frac * (rule.max_delay - rule.min_delay);
+          decision.delay = std::max(decision.delay, d);
+          rule.hits.fetch_add(1, std::memory_order_relaxed);
+          delays_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case Kind::kTransient: {
+        if (rule.max_hits && rule.hits.load(std::memory_order_relaxed) >= rule.max_hits) break;
+        const double draw =
+            unit_uniform(seed_, site_hash, occurrence, /*salt=*/0x21);
+        if (draw < rule.probability) {
+          decision.fail = true;
+          rule.hits.fetch_add(1, std::memory_order_relaxed);
+          errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case Kind::kPermanent: {
+        if (occurrence >= rule.first_occurrence) {
+          decision.fail = true;
+          decision.permanent = true;
+          rule.hits.fetch_add(1, std::memory_order_relaxed);
+          errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case Kind::kPartial: {
+        if (rule.max_hits && rule.hits.load(std::memory_order_relaxed) >= rule.max_hits) break;
+        const double draw =
+            unit_uniform(seed_, site_hash, occurrence, /*salt=*/0x31);
+        if (draw < rule.probability) {
+          decision.deliver_fraction =
+              std::min(decision.deliver_fraction, rule.fraction);
+          rule.hits.fetch_add(1, std::memory_order_relaxed);
+          partials_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
+  }
+  return decision;
+}
+
+std::uint64_t FaultPlan::occurrences(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(site_counts_.begin(), site_counts_.end(),
+                         [&](const auto& e) { return e.first == site; });
+  return it == site_counts_.end() ? 0 : it->second;
+}
+
+FaultScope::FaultScope(std::shared_ptr<FaultPlan> plan)
+    : previous_(swap_plan(std::move(plan))) {}
+
+FaultScope::~FaultScope() { swap_plan(std::move(previous_)); }
+
+std::shared_ptr<FaultPlan> current_plan() {
+  if (!g_installed.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  return g_plan;
+}
+
+Decision inject(std::string_view site) {
+  auto plan = current_plan();
+  if (!plan) return {};
+  Decision decision = plan->next(site);
+  if (decision.delay > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(decision.delay));
+  }
+  if (decision.fail) {
+    throw InjectedError("injected fault at " + std::string(site) +
+                            (decision.permanent ? " (permanent)" : " (transient)"),
+                        decision.permanent);
+  }
+  return decision;
+}
+
+void inject_delay_only(std::string_view site) {
+  auto plan = current_plan();
+  if (!plan) return;
+  const Decision decision = plan->next(site);
+  if (decision.delay > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(decision.delay));
+  }
+}
+
+}  // namespace pstap::fault

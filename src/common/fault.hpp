@@ -1,0 +1,163 @@
+// Deterministic fault injection for the I/O and communication paths.
+//
+// A FaultPlan is a seeded schedule of faults, armed per *site*. A site is a
+// hierarchical dot-separated name identifying one injection point — e.g.
+// "pfs.server.read.sd002" (chunk service of stripe directory 2),
+// "pfs.file.read.cpi_rr1" (logical reads of one striped file), "mp.send",
+// "pipeline.stage.Doppler filter". A schedule armed at a prefix applies to
+// every site below it ("pfs.server.read" matches every stripe directory).
+//
+// Determinism: the decision for the i-th occurrence matched by a rule is a
+// pure hash of (plan seed, rule site, i). Per-rule occurrence indices are
+// handed out atomically, so the *set* of faulted occurrence indices is
+// identical across runs with the same seed and arming — independent of
+// thread interleaving — even though which thread draws which index may vary.
+//
+// Injection points call fault::inject(site). With no plan installed this is
+// one relaxed atomic load; with a plan it applies armed delays in place and
+// raises InjectedError for armed failures. Plans are installed process-wide
+// with the RAII FaultScope (nesting restores the previous plan), so the
+// whole stack — pfs service threads, mp ranks, pipeline stages — sees one
+// consistent scenario without plumbing a handle through every layer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pstap::fault {
+
+/// What an injection site must do for one occurrence. Fields compose: a
+/// site can be delayed *and* then fail (a slow, then dead server).
+struct Decision {
+  bool fail = false;            ///< raise InjectedError
+  bool permanent = false;       ///< the error is permanent (retries are futile)
+  Seconds delay = 0;            ///< sleep this long before proceeding
+  double deliver_fraction = 1;  ///< partial read: serve only this fraction
+
+  bool faulted() const {
+    return fail || delay > 0 || deliver_fraction < 1.0;
+  }
+};
+
+/// Error raised at a faulted site. Derives IoError so the existing error
+/// handling (engine chunk capture, retry loops) treats it like a real I/O
+/// failure; permanent() tells retry layers to give up immediately.
+class InjectedError : public IoError {
+ public:
+  InjectedError(const std::string& what, bool permanent)
+      : IoError(what), permanent_(permanent) {}
+  bool permanent() const noexcept { return permanent_; }
+
+ private:
+  bool permanent_;
+};
+
+/// A seeded, per-site fault schedule. Thread-safe. Arm before installing;
+/// arming while injection sites are live is safe but the occurrence
+/// indices already handed out are not revisited.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  // ------------------------------------------------------------- arming --
+  // `site` is matched against injection sites by dot-boundary prefix:
+  // a rule at "a.b" applies to "a.b" and "a.b.c", not to "a.bc".
+
+  /// With `probability`, sleep uniform [min_delay, max_delay) at the site.
+  /// `max_hits` bounds how many occurrences fire (0 = unlimited).
+  void arm_delay(std::string site, double probability, Seconds min_delay,
+                 Seconds max_delay, std::uint64_t max_hits = 0);
+
+  /// With `probability`, fail the occurrence with a retryable error.
+  /// `max_hits` bounds the total failures injected (0 = unlimited).
+  void arm_transient_error(std::string site, double probability,
+                           std::uint64_t max_hits = 0);
+
+  /// Every matched occurrence with per-rule index >= first_occurrence fails
+  /// permanently — a server that dies and never comes back.
+  void arm_permanent_error(std::string site, std::uint64_t first_occurrence = 0);
+
+  /// With `probability`, deliver only `fraction` (in (0,1)) of the bytes —
+  /// a short read, surfaced by the serving site as a retryable error.
+  void arm_partial_read(std::string site, double probability, double fraction,
+                        std::uint64_t max_hits = 0);
+
+  // ------------------------------------------------------------ querying --
+
+  /// Decision for the next occurrence at `site`. Counts the occurrence
+  /// even when nothing is armed (the plan doubles as an I/O trace counter).
+  Decision next(std::string_view site);
+
+  /// Occurrences recorded for this exact site string.
+  std::uint64_t occurrences(std::string_view site) const;
+
+  /// Totals across all sites, for test assertions.
+  std::uint64_t injected_delays() const { return delays_.load(); }
+  std::uint64_t injected_errors() const { return errors_.load(); }
+  std::uint64_t injected_partials() const { return partials_.load(); }
+
+ private:
+  enum class Kind { kDelay, kTransient, kPermanent, kPartial };
+
+  struct Rule {
+    std::string site;
+    Kind kind;
+    double probability = 1.0;
+    Seconds min_delay = 0, max_delay = 0;
+    double fraction = 1.0;
+    std::uint64_t max_hits = 0;         // 0 = unlimited
+    std::uint64_t first_occurrence = 0; // permanent rules only
+    std::atomic<std::uint64_t> matched{0};
+    std::atomic<std::uint64_t> hits{0};
+  };
+
+  static bool rule_matches(const std::string& rule_site, std::string_view site);
+
+  std::uint64_t seed_;
+  mutable std::mutex mu_;  // guards rules_ vector growth + site counters
+  std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<std::pair<std::string, std::uint64_t>> site_counts_;
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> partials_{0};
+};
+
+/// Install `plan` as the process-wide plan for this scope; restores the
+/// previously installed plan (usually none) on destruction.
+class FaultScope {
+ public:
+  explicit FaultScope(std::shared_ptr<FaultPlan> plan);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  std::shared_ptr<FaultPlan> previous_;
+};
+
+/// The currently installed plan (nullptr outside any FaultScope).
+std::shared_ptr<FaultPlan> current_plan();
+
+/// Injection entry point. Applies armed delays in place, throws
+/// InjectedError for armed failures, and returns the decision so sites
+/// that support partial delivery can truncate. Near-free with no plan.
+Decision inject(std::string_view site);
+
+/// Delay-only variant for sites with no error-recovery story (pipeline
+/// stage boundaries): applies delays, ignores armed failures.
+void inject_delay_only(std::string_view site);
+
+}  // namespace pstap::fault

@@ -1,0 +1,62 @@
+// Retry with exponential backoff for I/O operations, and the timeout
+// error raised when a bounded wait expires. Header-only; used by
+// stap::cube_io and pipeline::collective_read_slab.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/types.hpp"
+
+namespace pstap {
+
+/// Raised when an I/O request exceeds its per-attempt timeout. Derives
+/// IoError so retry layers treat it as a (transient) I/O failure.
+class TimeoutError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Retry configuration for an I/O consumer. The default (one attempt, no
+/// timeout) preserves the pre-fault-layer behavior: fail fast.
+struct RetryPolicy {
+  int max_attempts = 1;             ///< total attempts, >= 1
+  Seconds initial_backoff = 1e-3;   ///< sleep before the second attempt
+  double backoff_multiplier = 2.0;  ///< backoff growth per attempt
+  Seconds max_backoff = 100e-3;     ///< cap on a single backoff sleep
+  Seconds attempt_timeout = 0;      ///< per-attempt wait bound (0 = none)
+};
+
+/// True for errors that retrying cannot fix (a permanently failed server).
+inline bool is_permanent(const std::exception& e) {
+  auto* injected = dynamic_cast<const fault::InjectedError*>(&e);
+  return injected != nullptr && injected->permanent();
+}
+
+/// Run `op` up to policy.max_attempts times, retrying on IoError with
+/// exponential backoff. Permanent errors and non-I/O errors propagate
+/// immediately; the last attempt's error propagates unconditionally.
+template <typename Op>
+auto with_retry(const RetryPolicy& policy, [[maybe_unused]] const std::string& what,
+                Op&& op) -> decltype(op()) {
+  PSTAP_REQUIRE(policy.max_attempts >= 1, "retry: max_attempts must be >= 1");
+  Seconds backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return op();
+    } catch (const IoError& e) {
+      if (attempt >= policy.max_attempts || is_permanent(e)) {
+        throw;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    backoff = std::min(policy.max_backoff, backoff * policy.backoff_multiplier);
+  }
+}
+
+}  // namespace pstap

@@ -1,5 +1,6 @@
 #include "mp/comm.hpp"
 
+#include "common/fault.hpp"
 #include "mp/world.hpp"
 
 namespace pstap::mp {
@@ -29,6 +30,10 @@ void Comm::send_bytes(int dest, int tag, std::vector<std::byte> payload) {
   PSTAP_REQUIRE(is_member(), "send on a non-member communicator handle");
   PSTAP_REQUIRE(dest >= 0 && dest < size(), "send destination rank out of range");
   PSTAP_REQUIRE(tag >= 0, "user message tags must be >= 0");
+  // Injection covers user point-to-point traffic only; internal collective
+  // messages (shadow context) stay fault-free so the runtime's own
+  // synchronization cannot be wedged by a plan.
+  fault::inject("mp.send");
   Envelope env;
   env.context = context_;
   env.source = rank_;
@@ -41,6 +46,7 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag, RecvInfo* info) {
   PSTAP_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
                 "recv source rank out of range");
   PSTAP_REQUIRE(tag == kAnyTag || tag >= 0, "recv tag must be >= 0 or kAnyTag");
+  fault::inject("mp.recv");
   Envelope env = my_mailbox().pop_matching(context_, source, tag);
   if (info != nullptr) {
     info->source = env.source;

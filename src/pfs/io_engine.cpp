@@ -4,8 +4,10 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/wall_clock.hpp"
 
 namespace pstap::pfs {
@@ -15,6 +17,14 @@ IoEngine::IoEngine(std::size_t servers, double bandwidth, double latency)
   PSTAP_REQUIRE(servers >= 1, "IoEngine needs at least one server");
   queues_.reserve(servers);
   for (std::size_t s = 0; s < servers; ++s) queues_.push_back(std::make_unique<Queue>());
+  read_sites_.reserve(servers);
+  write_sites_.reserve(servers);
+  for (std::size_t s = 0; s < servers; ++s) {
+    char dir[32];
+    std::snprintf(dir, sizeof dir, "sd%03zu", s);
+    read_sites_.push_back(std::string("pfs.server.read.") + dir);
+    write_sites_.push_back(std::string("pfs.server.write.") + dir);
+  }
   threads_.reserve(servers);
   for (std::size_t s = 0; s < servers; ++s) {
     threads_.emplace_back([this, s] { service_loop(s); });
@@ -64,13 +74,24 @@ void IoEngine::service_loop(std::size_t server) {
     const Seconds started = monotonic_now();
     std::exception_ptr error;
     try {
+      // Fault injection: armed delays sleep here (inside the service
+      // thread, so they occupy this stripe directory exactly like a slow
+      // disk); armed errors throw and are captured as the chunk's error; a
+      // partial-read decision truncates the transfer and then fails it.
+      const fault::Decision decision =
+          fault::inject(job.is_write ? write_sites_[server] : read_sites_[server]);
+      std::size_t effective_len = job.len;
+      if (!job.is_write && decision.deliver_fraction < 1.0) {
+        effective_len =
+            static_cast<std::size_t>(static_cast<double>(job.len) * decision.deliver_fraction);
+      }
       std::size_t moved = 0;
-      while (moved < job.len) {
+      while (moved < effective_len) {
         const ssize_t n =
             job.is_write
-                ? ::pwrite(job.fd, job.buf + moved, job.len - moved,
+                ? ::pwrite(job.fd, job.buf + moved, effective_len - moved,
                            static_cast<off_t>(job.offset + moved))
-                : ::pread(job.fd, job.buf + moved, job.len - moved,
+                : ::pread(job.fd, job.buf + moved, effective_len - moved,
                           static_cast<off_t>(job.offset + moved));
         if (n < 0) {
           if (errno == EINTR) continue;
@@ -78,6 +99,12 @@ void IoEngine::service_loop(std::size_t server) {
         }
         if (n == 0) PSTAP_IO_FAIL("unexpected EOF inside a striped segment", 0);
         moved += static_cast<std::size_t>(n);
+      }
+      if (effective_len < job.len) {
+        throw fault::InjectedError("injected partial read: served " +
+                                       std::to_string(effective_len) + " of " +
+                                       std::to_string(job.len) + " bytes",
+                                   /*permanent=*/false);
       }
       bytes_serviced_.fetch_add(job.len, std::memory_order_relaxed);
     } catch (...) {

@@ -8,15 +8,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/types.hpp"
 
 namespace pstap::pfs {
@@ -27,11 +30,15 @@ struct RequestState {
   std::mutex mu;
   std::condition_variable cv;
   std::size_t pending = 0;
-  std::exception_ptr error;
+  std::size_t errors = 0;    // every failed chunk is counted ...
+  std::exception_ptr error;  // ... but only the first exception is kept
 
   void complete_one(std::exception_ptr e) {
     std::lock_guard lock(mu);
-    if (e && !error) error = e;
+    if (e) {
+      ++errors;
+      if (!error) error = e;
+    }
     if (--pending == 0) cv.notify_all();
   }
 };
@@ -43,13 +50,29 @@ class IoRequest {
  public:
   IoRequest() = default;
 
-  /// Block until every chunk is serviced; rethrows the first chunk error.
+  /// Block until every chunk is serviced, then release the request state;
+  /// rethrows the first chunk error. Idempotent: calling it again — or on
+  /// a moved-from handle — is a no-op.
   void wait() {
     if (!state_) return;
-    std::unique_lock lock(state_->mu);
-    state_->cv.wait(lock, [&] { return state_->pending == 0; });
-    if (state_->error) std::rethrow_exception(state_->error);
+    std::exception_ptr error;
+    {
+      std::unique_lock lock(state_->mu);
+      state_->cv.wait(lock, [&] { return state_->pending == 0; });
+      error = state_->error;
+      failed_chunks_ = state_->errors;
+    }
     state_.reset();
+    if (error) std::rethrow_exception(error);
+  }
+
+  /// Bounded wait: true when every chunk completed within `timeout`. Does
+  /// not consume the request or its errors — follow up with wait().
+  bool wait_for(Seconds timeout) const {
+    if (!state_) return true;
+    std::unique_lock lock(state_->mu);
+    return state_->cv.wait_for(lock, std::chrono::duration<double>(timeout),
+                               [&] { return state_->pending == 0; });
   }
 
   /// Nonblocking completion poll (does not consume errors; call wait()).
@@ -59,12 +82,32 @@ class IoRequest {
     return state_->pending == 0;
   }
 
+  /// Chunk failures observed by the last consuming wait() on this handle.
+  /// wait() rethrows only the first error; the rest are counted here so
+  /// multi-chunk failures are never silently swallowed.
+  std::size_t failed_chunks() const noexcept { return failed_chunks_; }
+
  private:
   friend class IoEngine;
   friend class StripedFile;  // attaches jobs to the shared state
   explicit IoRequest(std::shared_ptr<detail::RequestState> s) : state_(std::move(s)) {}
   std::shared_ptr<detail::RequestState> state_;
+  std::size_t failed_chunks_ = 0;
 };
+
+/// Wait for `req` with a per-request bound. Chunks hold raw pointers into
+/// the caller's buffer, so an expired request cannot be abandoned: on
+/// timeout the request is drained (full wait) and TimeoutError is raised —
+/// unless draining surfaces the chunks' own error, which takes precedence.
+inline void wait_with_timeout(IoRequest& req, Seconds timeout,
+                              const std::string& what) {
+  if (timeout <= 0 || req.wait_for(timeout)) {
+    req.wait();
+    return;
+  }
+  req.wait();  // drain; rethrows a chunk error if one arrived while late
+  throw TimeoutError(what + ": I/O request exceeded timeout");
+}
 
 /// Pool of per-stripe-directory service threads with optional bandwidth
 /// throttling.
@@ -115,6 +158,9 @@ class IoEngine {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> bytes_serviced_{0};
+  // Fault-injection site names, precomputed so the hot path never formats.
+  std::vector<std::string> read_sites_;   // "pfs.server.read.sdNNN"
+  std::vector<std::string> write_sites_;  // "pfs.server.write.sdNNN"
 };
 
 }  // namespace pstap::pfs

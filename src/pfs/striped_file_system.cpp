@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace pstap::pfs {
 
@@ -61,7 +62,7 @@ StripedFileSystem::StripedFileSystem(fs::path root, PfsConfig config)
   }
 
   for (std::size_t d = 0; d < config_.stripe_factor; ++d) {
-    char dir[16];
+    char dir[32];
     std::snprintf(dir, sizeof dir, "sd%03zu", d);
     fs::create_directories(root_ / dir, ec);
     if (ec) PSTAP_IO_FAIL("cannot create stripe directory", ec.value());
@@ -262,12 +263,16 @@ void StripedFile::submit_jobs(std::uint64_t offset, std::byte* buf, std::size_t 
 
 IoRequest StripedFile::submit(std::uint64_t offset, std::byte* buf, std::size_t len,
                               bool is_write) {
+  // Logical-level injection site: faults armed here fail the whole request
+  // up front (a metadata/open-path failure), before any chunk is queued.
+  fault::inject((is_write ? "pfs.file.write." : "pfs.file.read.") + name_);
   IoRequest req = fs_->engine().make_request(count_chunks(offset, len));
   submit_jobs(offset, buf, len, is_write, req.state_);
   return req;
 }
 
 IoRequest StripedFile::iread_gather(std::span<const IoSegment> segments) {
+  fault::inject("pfs.file.read." + name_);
   const std::uint64_t file_size = size();
   std::size_t chunks = 0;
   for (const IoSegment& seg : segments) {

@@ -1,5 +1,7 @@
 #include "pipeline/collective_read.hpp"
 
+#include <algorithm>
+
 #include "pipeline/partition.hpp"
 
 namespace pstap::pipeline {
@@ -8,7 +10,8 @@ using pstap::cfloat;
 
 stap::DataCube collective_read_slab(mp::Comm& group, pfs::StripedFile& file,
                                     const stap::RadarParams& params,
-                                    int tag_base) {
+                                    int tag_base, const RetryPolicy& retry,
+                                    bool* degraded) {
   PSTAP_REQUIRE(group.is_member(), "collective read from a non-member handle");
   const int nranks = group.size();
   const int me = group.rank();
@@ -20,10 +23,25 @@ stap::DataCube collective_read_slab(mp::Comm& group, pfs::StripedFile& file,
   const std::size_t row_lo = row_part.begin(static_cast<std::size_t>(me));
   const std::size_t row_hi = row_part.end(static_cast<std::size_t>(me));
   std::vector<cfloat> mine((row_hi - row_lo) * params.ranges);
+  int my_degraded = 0;
   if (!mine.empty()) {
-    file.read_values<cfloat>(
-        static_cast<std::uint64_t>(row_lo) * params.ranges * sizeof(cfloat),
-        std::span<cfloat>(mine));
+    try {
+      with_retry(retry, "collective_read_slab(" + file.name() + ")", [&] {
+        pfs::IoRequest req = file.iread_values<cfloat>(
+            static_cast<std::uint64_t>(row_lo) * params.ranges * sizeof(cfloat),
+            std::span<cfloat>(mine));
+        pfs::wait_with_timeout(req, retry.attempt_timeout,
+                               "collective_read_slab(" + file.name() + ")");
+      });
+    } catch (const IoError&) {
+      if (degraded == nullptr) throw;
+      // Degrade: peers are already committed to the exchange, so zero-fill
+      // this rank's file block and keep the collective moving. The vector
+      // is value-initialized; an aborted partial transfer may have written
+      // a prefix, so clear it back to zero.
+      std::fill(mine.begin(), mine.end(), cfloat{});
+      my_degraded = 1;
+    }
   }
 
   // Phase 2: redistribute. For each destination rank, slice my rows down to
@@ -64,6 +82,15 @@ stap::DataCube collective_read_slab(mp::Comm& group, pfs::StripedFile& file,
       auto dst = cube.range_series(c, p);
       for (std::size_t r = 0; r < dst.size(); ++r) dst[r] = msg[idx++];
     }
+  }
+
+  // Degradation is a collective property: a zero-filled file block landed
+  // in EVERY rank's slab, so all ranks must agree the CPI is tainted.
+  if (degraded != nullptr) {
+    int any = 0;
+    group.allreduce_sum(std::span<const int>(&my_degraded, 1),
+                        std::span<int>(&any, 1));
+    *degraded = any != 0;
   }
   return cube;
 }

@@ -14,6 +14,7 @@
 // stap::read_cpi_slab(file, ..., FileLayout::kPulseMajor).
 #pragma once
 
+#include "common/retry.hpp"
 #include "mp/comm.hpp"
 #include "pfs/striped_file_system.hpp"
 #include "stap/cube_io.hpp"
@@ -25,8 +26,17 @@ namespace pstap::pipeline {
 /// the cube slab of the r-th block of BlockPartition(params.ranges,
 /// group.size()). `tag_base` must not collide with other traffic on the
 /// communicator (two consecutive tags are used).
+///
+/// `retry` governs transient failures and per-attempt timeouts of the
+/// phase-1 conforming read. When `degraded` is non-null, a rank whose read
+/// fails for good zero-fills its file block and completes the exchange
+/// (so no peer wedges); the flag is then agreed collectively — every rank
+/// sets *degraded if ANY rank degraded. With degraded == nullptr the
+/// exhausted error propagates on the failing rank (legacy behavior).
 stap::DataCube collective_read_slab(mp::Comm& group, pfs::StripedFile& file,
                                     const stap::RadarParams& params,
-                                    int tag_base = 900);
+                                    int tag_base = 900,
+                                    const RetryPolicy& retry = {},
+                                    bool* degraded = nullptr);
 
 }  // namespace pstap::pipeline

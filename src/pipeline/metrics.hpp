@@ -29,6 +29,11 @@ struct TaskTiming {
 struct PipelineMetrics {
   std::vector<TaskTiming> tasks;  ///< pipeline order, matching the spec
 
+  /// CPIs abandoned by graceful degradation: their input read failed
+  /// permanently, the pipeline zero-filled the slab and suppressed the
+  /// CPI's detections instead of wedging (functional runner only).
+  int dropped_cpis = 0;
+
   /// CPIs per second: 1 / max_i T_i (paper eq. 1/3).
   double throughput() const;
 

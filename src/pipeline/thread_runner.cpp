@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <optional>
+#include <string>
+#include <thread>
 #include <tuple>
 
 #include "common/wall_clock.hpp"
@@ -67,6 +70,7 @@ struct Phase {
 struct SharedResults {
   std::vector<Phase> avg_phase;                            // per world rank
   std::vector<std::vector<stap::Detection>> detections;    // per world rank
+  std::vector<std::vector<int>> dropped;                   // per world rank
 };
 
 /// Everything a node function needs.
@@ -90,14 +94,27 @@ struct NodeCtx {
     PSTAP_CHECK(i >= 0, "task kind absent from spec");
     return assign.world_rank(i, local_id);
   }
+
+  /// Record `cpi` as degraded on this rank; the runner unions the per-rank
+  /// sets after the run and suppresses the CPI's detections.
+  void mark_dropped(int cpi) const {
+    results->dropped[static_cast<std::size_t>(world.rank())].push_back(cpi);
+  }
 };
 
 /// Per-CPI phase timing accumulator.
 class PhaseClock {
  public:
-  PhaseClock(const RunOptions& opt, Phase& out) : opt_(opt), out_(out) {}
+  PhaseClock(const RunOptions& opt, Phase& out, std::string fault_site)
+      : opt_(opt), out_(out), fault_site_(std::move(fault_site)) {}
 
-  void start_cpi(int cpi) { timed_ = cpi >= opt_.warmup; }
+  void start_cpi(int cpi) {
+    // Stage-boundary injection site: armed delays stall this node exactly
+    // where a real hiccup (page fault, scheduler preemption) would land.
+    // Delay-only — stage boundaries have no retry/degradation story.
+    fault::inject_delay_only(fault_site_);
+    timed_ = cpi >= opt_.warmup;
+  }
   void finish() {
     const int timed_cpis = std::max(1, opt_.cpis - opt_.warmup);
     out_.recv = recv_ / timed_cpis;
@@ -127,6 +144,7 @@ class PhaseClock {
 
   const RunOptions& opt_;
   Phase& out_;
+  std::string fault_site_;
   bool timed_ = false;
   Seconds recv_ = 0, comp_ = 0, send_ = 0;
 };
@@ -196,20 +214,56 @@ class SlabReader {
 
   bool empty() const { return r_lo_ >= r_hi_; }
 
-  /// Issue the read for `cpi` (async where supported).
+  /// Issue the read for `cpi` (async where supported). Submit-time faults
+  /// (the logical pfs.file site, or a sync-mode chunk error) are captured
+  /// and surfaced by wait(), so prefetch call sites stay exception-free.
   void start(int cpi) {
     if (empty()) return;
-    auto& file = files_[static_cast<std::size_t>(cpi) % files_.size()];
-    pending_[cpi & 1] = stap::start_read_cpi_slab(
-        file, ctx_.params(), r_lo_, r_hi_, std::span<cfloat>(bufs_[cpi & 1]),
-        ctx_.opt.file_layout);
+    start_error_[cpi & 1] = nullptr;
+    try {
+      auto& file = files_[static_cast<std::size_t>(cpi) % files_.size()];
+      pending_[cpi & 1] = stap::start_read_cpi_slab(
+          file, ctx_.params(), r_lo_, r_hi_, std::span<cfloat>(bufs_[cpi & 1]),
+          ctx_.opt.file_layout);
+    } catch (const IoError&) {
+      start_error_[cpi & 1] = std::current_exception();
+    }
   }
 
-  /// Wait for `cpi`'s read; returns the raw file-order slab.
-  std::span<const cfloat> wait(int cpi) {
+  /// Wait for `cpi`'s read; returns the raw file-order slab. Transient
+  /// failures are retried per opt.io_retry by reissuing the whole slab
+  /// read (failed chunk buffers cannot be salvaged piecemeal). When the
+  /// error is permanent or attempts are exhausted: with `dropped` set the
+  /// slab is zero-filled and *dropped flagged (graceful degradation — a
+  /// throwing node would wedge every peer in World::run); with `dropped`
+  /// == nullptr the error propagates.
+  std::span<const cfloat> wait(int cpi, bool* dropped = nullptr) {
     if (empty()) return {};
-    pending_[cpi & 1].wait();
-    return bufs_[cpi & 1];
+    auto& buf = bufs_[cpi & 1];
+    const RetryPolicy& retry = ctx_.opt.io_retry;
+    Seconds backoff = retry.initial_backoff;
+    for (int attempt = 1;; ++attempt) {
+      try {
+        if (start_error_[cpi & 1]) {
+          std::exception_ptr e = start_error_[cpi & 1];
+          start_error_[cpi & 1] = nullptr;
+          std::rethrow_exception(e);
+        }
+        pfs::wait_with_timeout(pending_[cpi & 1], retry.attempt_timeout,
+                               "slab read of cpi " + std::to_string(cpi));
+        return buf;
+      } catch (const IoError& e) {
+        if (attempt >= retry.max_attempts || is_permanent(e)) {
+          if (dropped == nullptr) throw;
+          std::fill(buf.begin(), buf.end(), cfloat{});
+          *dropped = true;
+          return buf;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(retry.max_backoff, backoff * retry.backoff_multiplier);
+      start(cpi);
+    }
   }
 
   bool async_capable() const { return ctx_.fs.config().supports_async; }
@@ -220,6 +274,7 @@ class SlabReader {
   std::vector<pfs::StripedFile> files_;
   std::array<std::vector<cfloat>, 2> bufs_;
   std::array<pfs::IoRequest, 2> pending_;
+  std::array<std::exception_ptr, 2> start_error_;
 };
 
 void run_read_node(NodeCtx& ctx, PhaseClock& clock) {
@@ -242,7 +297,9 @@ void run_read_node(NodeCtx& ctx, PhaseClock& clock) {
     std::span<const cfloat> raw;
     clock.recv([&] {
       if (!reader.async_capable()) reader.start(cpi);
-      raw = reader.wait(cpi);
+      bool dropped = false;
+      raw = reader.wait(cpi, &dropped);
+      if (dropped) ctx.mark_dropped(cpi);
     });
     if (cpi + 1 < ctx.opt.cpis && reader.async_capable()) reader.start(cpi + 1);
     clock.send([&] {
@@ -313,13 +370,18 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
       clock.recv([&] {
         auto& file =
             collective_files[static_cast<std::size_t>(cpi) % collective_files.size()];
-        cube = collective_read_slab(*doppler_group, file, p);
+        bool degraded = false;
+        cube = collective_read_slab(*doppler_group, file, p, /*tag_base=*/900,
+                                    ctx.opt.io_retry, &degraded);
+        if (degraded) ctx.mark_dropped(cpi);
       });
     } else if (embedded) {
       std::span<const cfloat> raw;
       clock.recv([&] {
         if (!reader->async_capable()) reader->start(cpi);
-        raw = reader->wait(cpi);
+        bool dropped = false;
+        raw = reader->wait(cpi, &dropped);
+        if (dropped) ctx.mark_dropped(cpi);
         cube = stap::unpack_slab(p, r_lo, r_hi, raw, ctx.opt.file_layout);
       });
       if (cpi + 1 < ctx.opt.cpis && reader->async_capable()) reader->start(cpi + 1);
@@ -715,6 +777,11 @@ ThreadRunner::ThreadRunner(PipelineSpec spec, RunOptions options)
 RunResult ThreadRunner::run() {
   const auto& p = spec_.params;
 
+  // Install the fault plan (if any) for the whole run: radar-side writes,
+  // pipeline reads, message passing, and stage boundaries all see it.
+  std::optional<fault::FaultScope> fault_scope;
+  if (options_.fault_plan) fault_scope.emplace(options_.fault_plan);
+
   // --- The radar side: write the round-robin CPI files. ---
   pfs::StripedFileSystem fs(options_.fs_root, options_.fs_config);
   {
@@ -730,12 +797,16 @@ RunResult ThreadRunner::run() {
   SharedResults results;
   results.avg_phase.resize(static_cast<std::size_t>(total));
   results.detections.resize(static_cast<std::size_t>(total));
+  results.dropped.resize(static_cast<std::size_t>(total));
 
   mp::World world(total);
   world.run([&](mp::Comm& comm) {
     const auto [task, local] = assign.locate(comm.rank());
     NodeCtx ctx{spec_, options_, assign, comm, fs, task, local, &results};
-    PhaseClock clock(options_, results.avg_phase[static_cast<std::size_t>(comm.rank())]);
+    PhaseClock clock(
+        options_, results.avg_phase[static_cast<std::size_t>(comm.rank())],
+        std::string("pipeline.stage.") +
+            task_name(spec_.tasks[static_cast<std::size_t>(task)].kind));
     switch (spec_.tasks[static_cast<std::size_t>(task)].kind) {
       case TaskKind::kParallelRead: run_read_node(ctx, clock); break;
       case TaskKind::kDoppler: run_doppler_node(ctx, clock); break;
@@ -774,9 +845,30 @@ RunResult ThreadRunner::run() {
     }
     result.metrics.tasks.push_back(timing);
   }
+  // Union the per-rank dropped-CPI sets and suppress those CPIs'
+  // detections: a degraded read zero-fills only one node's slab, so the
+  // rest of the CPI's detections are real but the product is incomplete —
+  // report the CPI as dropped rather than silently thinner.
+  for (const auto& per_rank : results.dropped) {
+    result.dropped_cpis.insert(result.dropped_cpis.end(), per_rank.begin(),
+                               per_rank.end());
+  }
+  std::sort(result.dropped_cpis.begin(), result.dropped_cpis.end());
+  result.dropped_cpis.erase(
+      std::unique(result.dropped_cpis.begin(), result.dropped_cpis.end()),
+      result.dropped_cpis.end());
+  result.metrics.dropped_cpis = static_cast<int>(result.dropped_cpis.size());
+
   for (auto& per_rank : results.detections) {
     result.detections.insert(result.detections.end(), per_rank.begin(),
                              per_rank.end());
+  }
+  if (!result.dropped_cpis.empty()) {
+    const auto& dropped = result.dropped_cpis;
+    std::erase_if(result.detections, [&](const stap::Detection& d) {
+      return std::binary_search(dropped.begin(), dropped.end(),
+                                static_cast<int>(d.cpi));
+    });
   }
   std::sort(result.detections.begin(), result.detections.end(),
             [](const stap::Detection& a, const stap::Detection& b) {

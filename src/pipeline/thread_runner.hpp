@@ -15,8 +15,11 @@
 #pragma once
 
 #include <filesystem>
+#include <memory>
 #include <vector>
 
+#include "common/fault.hpp"
+#include "common/retry.hpp"
 #include "pfs/striped_file_system.hpp"
 #include "pipeline/metrics.hpp"
 #include "pipeline/task_spec.hpp"
@@ -53,6 +56,17 @@ struct RunOptions {
   /// Numerical route used by the weight-computation tasks.
   stap::WeightSolver weight_solver = stap::WeightSolver::kCholeskySmi;
 
+  /// Retry policy for the per-CPI slab reads (transient I/O faults are
+  /// retried with backoff, each attempt bounded by attempt_timeout). The
+  /// default is fail-fast: one attempt, no timeout.
+  RetryPolicy io_retry;
+
+  /// Fault plan installed (process-wide, via fault::FaultScope) for the
+  /// duration of run() — the radar-side writes and the pipeline reads both
+  /// run under it, so arm read sites ("pfs.server.read.*") rather than a
+  /// whole server when only the pipeline side should fault.
+  std::shared_ptr<fault::FaultPlan> fault_plan;
+
   RunOptions() : fs_config(pfs::paragon_pfs(4)) {}
 };
 
@@ -60,6 +74,10 @@ struct RunResult {
   PipelineMetrics metrics;                  ///< per-task phase times (averaged)
   std::vector<stap::Detection> detections;  ///< all CPIs, cpi field filled
   int timed_cpis = 0;
+
+  /// CPIs dropped by graceful degradation (ascending, deduplicated).
+  /// Their detections are suppressed; metrics.dropped_cpis is the count.
+  std::vector<int> dropped_cpis;
 };
 
 class ThreadRunner {

@@ -13,6 +13,10 @@ CostModel::CostModel(pipeline::PipelineSpec spec, MachineModel machine)
   PSTAP_REQUIRE(machine_.node_flops > 0 && machine_.network_bandwidth > 0 &&
                     machine_.io_server_bandwidth > 0 && machine_.stripe_factor >= 1,
                 "machine model rates must be positive");
+  PSTAP_REQUIRE(machine_.straggler_servers <= machine_.stripe_factor,
+                "straggler_servers cannot exceed the stripe factor");
+  PSTAP_REQUIRE(machine_.straggler_slowdown >= 1.0,
+                "straggler_slowdown must be >= 1 (1 = no straggler)");
 }
 
 Seconds CostModel::io_read_time(int nodes) const {
@@ -23,8 +27,19 @@ Seconds CostModel::io_read_time(int nodes) const {
   // directory services ~chunks/servers requests of ~stripe_unit bytes.
   const double per_server_chunks = std::ceil(chunks / servers);
   const double per_server_bytes = bytes / servers;
-  const Seconds server_side = per_server_chunks * machine_.io_chunk_latency +
-                              per_server_bytes / machine_.io_server_bandwidth;
+  Seconds server_side = per_server_chunks * machine_.io_chunk_latency +
+                        per_server_bytes / machine_.io_server_bandwidth;
+  // Stragglers: striping is static, so the chunks landing on a slow server
+  // cannot be rerouted — the read completes when the slowest server does.
+  // Each straggler carries the same ~chunks/servers share at slowdown x
+  // the cost, so the read time is gated by that server.
+  if (machine_.straggler_servers > 0 && machine_.straggler_slowdown > 1.0) {
+    const Seconds straggler_side =
+        machine_.straggler_slowdown *
+        (per_server_chunks * machine_.io_chunk_latency +
+         per_server_bytes / machine_.io_server_bandwidth);
+    server_side = std::max(server_side, straggler_side);
+  }
   // Client side: each of the P reading nodes pulls bytes/P over its link.
   const Seconds client_side =
       (bytes / static_cast<double>(nodes)) / machine_.network_bandwidth;

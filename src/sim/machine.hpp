@@ -33,6 +33,14 @@ struct MachineModel {
   double io_chunk_latency = 1e-3;      ///< per stripe-unit request overhead
   bool async_io = true;                ///< can reads overlap compute/comm?
 
+  /// Straggler servers: this many of the stripe directories run
+  /// `straggler_slowdown`x slower (latency and bandwidth). Striping is
+  /// static — a read that touches a straggler's stripe units cannot be
+  /// rerouted, so one slow server gates the whole conforming read. 0
+  /// stragglers or slowdown 1.0 disables the effect.
+  std::size_t straggler_servers = 0;
+  double straggler_slowdown = 1.0;
+
   // --- parallelization overhead V_i (paper eq. 6) ---
   /// V_i = overhead_per_log2 * log2(P_i + 1): synchronization and residual
   /// load imbalance grow slowly with the node count.

@@ -50,16 +50,22 @@ void write_cpi(pfs::StripedFileSystem& fs, const std::string& name,
 }
 
 DataCube read_cpi(pfs::StripedFileSystem& fs, const std::string& name,
-                  const RadarParams& params, FileLayout layout) {
+                  const RadarParams& params, FileLayout layout,
+                  const RetryPolicy& retry) {
   pfs::StripedFile f = fs.open(name);
-  return read_cpi_slab(f, params, 0, params.ranges, layout);
+  return read_cpi_slab(f, params, 0, params.ranges, layout, retry);
 }
 
 DataCube read_cpi_slab(pfs::StripedFile& file, const RadarParams& params,
-                       std::size_t r0, std::size_t r1, FileLayout layout) {
+                       std::size_t r0, std::size_t r1, FileLayout layout,
+                       const RetryPolicy& retry) {
   PSTAP_REQUIRE(r0 < r1, "empty range slab");
   std::vector<cfloat> raw(slab_elements(params, r0, r1));
-  start_read_cpi_slab(file, params, r0, r1, raw, layout).wait();
+  with_retry(retry, "read_cpi_slab(" + file.name() + ")", [&] {
+    pfs::IoRequest req = start_read_cpi_slab(file, params, r0, r1, raw, layout);
+    pfs::wait_with_timeout(req, retry.attempt_timeout,
+                           "read_cpi_slab(" + file.name() + ")");
+  });
   return unpack_slab(params, r0, r1, raw, layout);
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "pfs/striped_file_system.hpp"
 #include "stap/data_cube.hpp"
 #include "stap/radar_params.hpp"
@@ -41,17 +42,22 @@ std::size_t slab_elements(const RadarParams& params, std::size_t r0, std::size_t
 void write_cpi(pfs::StripedFileSystem& fs, const std::string& name,
                const DataCube& cube, FileLayout layout = FileLayout::kRangeMajor);
 
-/// Read a full cube from file `name`.
+/// Read a full cube from file `name`. `retry` governs transient I/O
+/// failures and per-attempt timeouts (the default fails fast).
 DataCube read_cpi(pfs::StripedFileSystem& fs, const std::string& name,
                   const RadarParams& params,
-                  FileLayout layout = FileLayout::kRangeMajor);
+                  FileLayout layout = FileLayout::kRangeMajor,
+                  const RetryPolicy& retry = {});
 
 /// Read range gates [r0, r1) of `file` into a cube of (r1-r0) ranges —
 /// the per-node exclusive-portion read. Synchronous. On pulse-major files
-/// this is a strided gather read.
+/// this is a strided gather read. Transient failures and timeouts are
+/// retried per `retry` (whole-slab reissue: chunk buffers cannot be
+/// salvaged piecemeal once any chunk fails).
 DataCube read_cpi_slab(pfs::StripedFile& file, const RadarParams& params,
                        std::size_t r0, std::size_t r1,
-                       FileLayout layout = FileLayout::kRangeMajor);
+                       FileLayout layout = FileLayout::kRangeMajor,
+                       const RetryPolicy& retry = {});
 
 /// Asynchronous slab read: starts the transfer into `raw` (slab_elements()
 /// values; must outlive the request); call unpack_slab after completion.

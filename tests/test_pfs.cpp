@@ -333,6 +333,62 @@ TEST(Pfs, ManyOutstandingIreads) {
   }
 }
 
+// IoRequest lifecycle regressions: wait() must be safe to call twice, on a
+// moved-from handle, and on a default-constructed one (it releases the
+// shared state on first return and becomes a no-op).
+TEST(Pfs, IoRequestWaitIsIdempotent) {
+  TempDir tmp;
+  StripedFileSystem pfs(tmp.path(), small_cfg(4, 64));
+  const auto data = pattern_bytes(2048, 14);
+  pfs.write_file("f", data);
+  StripedFile f = pfs.open("f");
+  std::vector<std::byte> buf(2048);
+  IoRequest req = f.iread(0, buf);
+  req.wait();
+  EXPECT_NO_THROW(req.wait());  // second consuming wait is a no-op
+  EXPECT_TRUE(req.done());
+  EXPECT_EQ(req.failed_chunks(), 0u);
+  EXPECT_EQ(buf, data);
+}
+
+TEST(Pfs, IoRequestWaitAfterMoveIsSafe) {
+  TempDir tmp;
+  StripedFileSystem pfs(tmp.path(), small_cfg(4, 64));
+  const auto data = pattern_bytes(1024, 15);
+  pfs.write_file("f", data);
+  StripedFile f = pfs.open("f");
+  std::vector<std::byte> buf(1024);
+  IoRequest req = f.iread(0, buf);
+  IoRequest moved = std::move(req);
+  EXPECT_NO_THROW(req.wait());  // moved-from: empty handle, no-op
+  EXPECT_TRUE(req.done());
+  moved.wait();
+  EXPECT_NO_THROW(moved.wait());
+  EXPECT_EQ(buf, data);
+}
+
+TEST(Pfs, DefaultConstructedIoRequestIsDone) {
+  IoRequest req;
+  EXPECT_TRUE(req.done());
+  EXPECT_TRUE(req.wait_for(0.0));
+  EXPECT_NO_THROW(req.wait());
+  EXPECT_EQ(req.failed_chunks(), 0u);
+}
+
+TEST(Pfs, WaitWithTimeoutZeroMeansUnbounded) {
+  TempDir tmp;
+  StripedFileSystem pfs(tmp.path(), small_cfg(4, 64));
+  const auto data = pattern_bytes(4096, 16);
+  pfs.write_file("f", data);
+  StripedFile f = pfs.open("f");
+  std::vector<std::byte> buf(4096);
+  IoRequest req = f.iread(0, buf);
+  EXPECT_NO_THROW(wait_with_timeout(req, 0.0, "read"));
+  EXPECT_EQ(buf, data);
+  // Generous (non-firing) timeout on an already-consumed request: no-op.
+  EXPECT_NO_THROW(wait_with_timeout(req, 10.0, "read"));
+}
+
 TEST(Pfs, EmptyReadIsNoop) {
   TempDir tmp;
   StripedFileSystem pfs(tmp.path(), small_cfg(2, 64));
