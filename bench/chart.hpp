@@ -19,11 +19,18 @@ struct BarSeries {
 inline void print_bars(const BarSeries& series, int width = 48) {
   std::printf("%s\n", series.title.c_str());
   double max_v = 1e-300;
-  for (const auto& [label, v] : series.bars) max_v = std::max(max_v, v);
+  // Size the label column to the widest label so long labels cannot push
+  // their bar out of alignment with the rest of the chart.
+  std::size_t label_w = 10;
   for (const auto& [label, v] : series.bars) {
-    const int n = static_cast<int>(width * v / max_v + 0.5);
-    std::printf("  %-10s |%-*s| %.4g %s\n", label.c_str(), width,
-                std::string(static_cast<std::size_t>(std::max(n, 0)), '#').c_str(), v,
+    max_v = std::max(max_v, v);
+    label_w = std::max(label_w, label.size());
+  }
+  for (const auto& [label, v] : series.bars) {
+    const int n = std::clamp(static_cast<int>(width * v / max_v + 0.5), 0, width);
+    std::printf("  %-*s |%-*s| %.4g %s\n", static_cast<int>(label_w),
+                label.c_str(), width,
+                std::string(static_cast<std::size_t>(n), '#').c_str(), v,
                 series.unit.c_str());
   }
   std::printf("\n");

@@ -1,0 +1,123 @@
+// ASCII timeline (Gantt) rendering of recorded trace events: one row per
+// stream (pid — pipeline rank, I/O server, sim stage), time left to right.
+// The terminal-friendly sibling of the Chrome trace export: same events,
+// one glance instead of a Perfetto session.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace pstap::bench {
+
+namespace detail {
+
+/// Row glyph for a span. Named phases get stable letters; anything else is
+/// keyed by its first character.
+inline char span_glyph(const std::string& name) {
+  if (name == "receive") return 'r';
+  if (name == "compute") return 'c';
+  if (name == "send") return 's';
+  if (name == "cpi") return '=';  // outer per-CPI bracket; phases paint over it
+  if (name.rfind("serve.", 0) == 0) return 'o';   // I/O server activity
+  if (name.rfind("submit.", 0) == 0) return 'u';  // client submit
+  return name.empty() ? 'x' : name[0];
+}
+
+}  // namespace detail
+
+/// Render the complete spans and instant events in `events` (a
+/// obs::TraceRecorder::snapshot()) as one ASCII Gantt row per pid. Longer
+/// spans are painted first so nested detail (phases inside a per-CPI span)
+/// stays visible on top; instants ('!') are painted last. Timestamps may be
+/// wall-clock or simulated — only their relative spread matters.
+inline void print_timeline(const std::vector<obs::TraceEvent>& events,
+                           int width = 72) {
+  using obs::TraceEvent;
+  std::int64_t t0 = std::numeric_limits<std::int64_t>::max();
+  std::int64_t t1 = std::numeric_limits<std::int64_t>::min();
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kComplete) {
+      t0 = std::min(t0, e.ts_ns);
+      t1 = std::max(t1, e.ts_ns + e.dur_ns);
+    } else if (e.kind == TraceEvent::Kind::kInstant) {
+      t0 = std::min(t0, e.ts_ns);
+      t1 = std::max(t1, e.ts_ns);
+    }
+  }
+  if (t0 >= t1) {
+    std::printf("  (no trace events recorded)\n");
+    return;
+  }
+
+  std::map<std::int32_t, std::string> stream_names;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kMeta) stream_names[e.pid] = e.name;
+  }
+
+  const auto col = [&](std::int64_t ts) {
+    return static_cast<std::size_t>(std::clamp<std::int64_t>(
+        (ts - t0) * width / (t1 - t0), 0, width - 1));
+  };
+
+  // Paint order: spans longest-first (outer before inner), instants last.
+  std::vector<const TraceEvent*> spans;
+  std::vector<const TraceEvent*> instants;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kComplete) spans.push_back(&e);
+    if (e.kind == TraceEvent::Kind::kInstant) instants.push_back(&e);
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->dur_ns > b->dur_ns;
+                   });
+
+  std::map<std::int32_t, std::string> rows;
+  std::map<char, std::string> legend;
+  for (const TraceEvent* e : spans) {
+    auto& row = rows.try_emplace(e->pid, std::string(static_cast<std::size_t>(width), '.'))
+                    .first->second;
+    const char g = detail::span_glyph(e->name);
+    legend.try_emplace(g, e->name);
+    const std::size_t lo = col(e->ts_ns);
+    const std::size_t hi = std::max(lo, col(e->ts_ns + e->dur_ns));
+    for (std::size_t c = lo; c <= hi; ++c) row[c] = g;
+  }
+  for (const TraceEvent* e : instants) {
+    auto& row = rows.try_emplace(e->pid, std::string(static_cast<std::size_t>(width), '.'))
+                    .first->second;
+    legend.try_emplace('!', "instant (fault/retry)");
+    row[col(e->ts_ns)] = '!';
+  }
+
+  std::size_t label_w = 6;
+  for (const auto& [pid, row] : rows) {
+    const auto it = stream_names.find(pid);
+    const std::size_t n =
+        it != stream_names.end() ? it->second.size() : std::to_string(pid).size();
+    label_w = std::max(label_w, n);
+  }
+
+  std::printf("  timeline: %.3f ms, %d columns\n",
+              static_cast<double>(t1 - t0) * 1e-6, width);
+  for (const auto& [pid, row] : rows) {
+    const auto it = stream_names.find(pid);
+    const std::string label =
+        it != stream_names.end() ? it->second : "pid " + std::to_string(pid);
+    std::printf("  %-*s |%s|\n", static_cast<int>(label_w), label.c_str(),
+                row.c_str());
+  }
+  std::printf("  legend:");
+  for (const auto& [glyph, name] : legend) {
+    std::printf(" %c=%s", glyph, name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace pstap::bench

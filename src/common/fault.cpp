@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace pstap::fault {
 namespace {
 
@@ -205,10 +207,33 @@ std::shared_ptr<FaultPlan> current_plan() {
   return g_plan;
 }
 
+namespace {
+
+/// Instant trace events make injected faults visible in timelines: one
+/// marker per fired decision, named by fault kind, site in the args.
+void trace_decision(std::string_view site, const Decision& decision) {
+  if (!decision.faulted() || !obs::trace_enabled()) return;
+  auto& recorder = obs::TraceRecorder::global();
+  if (decision.delay > 0) {
+    recorder.instant("fault", "fault.delay", obs::kLibraryPid, -1, site);
+  }
+  if (decision.fail) {
+    recorder.instant("fault",
+                     decision.permanent ? "fault.permanent" : "fault.transient",
+                     obs::kLibraryPid, -1, site);
+  }
+  if (decision.deliver_fraction < 1.0) {
+    recorder.instant("fault", "fault.partial_read", obs::kLibraryPid, -1, site);
+  }
+}
+
+}  // namespace
+
 Decision inject(std::string_view site) {
   auto plan = current_plan();
   if (!plan) return {};
   Decision decision = plan->next(site);
+  trace_decision(site, decision);
   if (decision.delay > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(decision.delay));
   }
@@ -223,7 +248,9 @@ Decision inject(std::string_view site) {
 void inject_delay_only(std::string_view site) {
   auto plan = current_plan();
   if (!plan) return;
-  const Decision decision = plan->next(site);
+  Decision decision = plan->next(site);
+  decision.fail = false;  // delay-only sites ignore armed failures
+  trace_decision(site, decision);
   if (decision.delay > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(decision.delay));
   }

@@ -12,8 +12,27 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace pstap {
+
+/// Process-wide count of I/O retry sleeps (with_retry and the slab-reader
+/// loop in pipeline/thread_runner both bump it). Looked up once: registry
+/// references are stable.
+inline obs::Counter& io_retry_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter("io.retries");
+  return counter;
+}
+
+/// Mark one retry attempt: counted always, traced when tracing is on.
+inline void note_io_retry(std::string_view what, int next_attempt) {
+  io_retry_counter().add(1);
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::global().instant(
+        "retry", "retry.attempt " + std::to_string(next_attempt),
+        obs::kLibraryPid, -1, what);
+  }
+}
 
 /// Raised when an I/O request exceeds its per-attempt timeout. Derives
 /// IoError so retry layers treat it as a (transient) I/O failure.
@@ -42,7 +61,7 @@ inline bool is_permanent(const std::exception& e) {
 /// exponential backoff. Permanent errors and non-I/O errors propagate
 /// immediately; the last attempt's error propagates unconditionally.
 template <typename Op>
-auto with_retry(const RetryPolicy& policy, [[maybe_unused]] const std::string& what,
+auto with_retry(const RetryPolicy& policy, const std::string& what,
                 Op&& op) -> decltype(op()) {
   PSTAP_REQUIRE(policy.max_attempts >= 1, "retry: max_attempts must be >= 1");
   Seconds backoff = policy.initial_backoff;
@@ -54,6 +73,7 @@ auto with_retry(const RetryPolicy& policy, [[maybe_unused]] const std::string& w
         throw;
       }
     }
+    note_io_retry(what, attempt + 1);
     std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
     backoff = std::min(policy.max_backoff, backoff * policy.backoff_multiplier);
   }

@@ -2,10 +2,26 @@
 
 #include "common/fault.hpp"
 #include "mp/world.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pstap::mp {
 
 namespace {
+
+// Process-wide message-layer distributions (registry references are
+// stable, so a single lookup each suffices). Sizes are bytes; waits are
+// seconds spent blocked inside recv before a matching envelope arrived.
+struct MpStats {
+  obs::Histogram& send_bytes = obs::Registry::global().histogram("mp.send_bytes");
+  obs::Histogram& recv_bytes = obs::Registry::global().histogram("mp.recv_bytes");
+  obs::Histogram& recv_wait = obs::Registry::global().histogram("mp.recv_wait_s");
+};
+
+MpStats& mp_stats() {
+  static MpStats stats;
+  return stats;
+}
 
 std::uint64_t mix64(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -34,6 +50,7 @@ void Comm::send_bytes(int dest, int tag, std::vector<std::byte> payload) {
   // messages (shadow context) stay fault-free so the runtime's own
   // synchronization cannot be wedged by a plan.
   fault::inject("mp.send");
+  mp_stats().send_bytes.record(static_cast<double>(payload.size()));
   Envelope env;
   env.context = context_;
   env.source = rank_;
@@ -47,7 +64,11 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag, RecvInfo* info) {
                 "recv source rank out of range");
   PSTAP_REQUIRE(tag == kAnyTag || tag >= 0, "recv tag must be >= 0 or kAnyTag");
   fault::inject("mp.recv");
+  const std::int64_t wait_start_ns = obs::trace_now_ns();
   Envelope env = my_mailbox().pop_matching(context_, source, tag);
+  mp_stats().recv_wait.record(
+      static_cast<double>(obs::trace_now_ns() - wait_start_ns) * 1e-9);
+  mp_stats().recv_bytes.record(static_cast<double>(env.payload.size()));
   if (info != nullptr) {
     info->source = env.source;
     info->tag = env.tag;

@@ -1,0 +1,223 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pstap::obs {
+
+namespace {
+constexpr double kMinValue = 1e-9;     // lower bound of bucket 0
+constexpr double kLog2Ratio = 0.5;     // ratio sqrt(2) => 2 buckets per octave
+}  // namespace
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value > kMinValue)) return 0;  // also catches NaN
+  const double i = std::floor(std::log2(value / kMinValue) / kLog2Ratio);
+  if (i >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<std::size_t>(i);
+}
+
+double Histogram::bucket_lower_bound(std::size_t i) {
+  return kMinValue * std::exp2(kLog2Ratio * static_cast<double>(i));
+}
+
+void Histogram::record(double value) {
+  if (std::isnan(value)) return;
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+
+  // Extrema via CAS; initialize both from the first observation. The first
+  // recorder wins the init race because count_ is bumped after the seed.
+  if (count_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  const std::uint64_t n = other.count_.load(std::memory_order_relaxed);
+  if (n == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const double other_min = other.min_.load(std::memory_order_relaxed);
+  const double other_max = other.max_.load(std::memory_order_relaxed);
+  if (count_.fetch_add(n, std::memory_order_acq_rel) == 0) {
+    min_.store(other_min, std::memory_order_relaxed);
+    max_.store(other_max, std::memory_order_relaxed);
+  }
+  double seen = min_.load(std::memory_order_relaxed);
+  while (other_min < seen &&
+         !min_.compare_exchange_weak(seen, other_min, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_.compare_exchange_weak(seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank definition).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      const double lo = bucket_lower_bound(i);
+      const double hi = bucket_lower_bound(i + 1);
+      return std::clamp(std::sqrt(lo * hi), min(), max());
+    }
+  }
+  return max();
+}
+
+void Gauge::raise_peak(std::int64_t v) {
+  std::int64_t seen = peak_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !peak_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::set(std::int64_t v) {
+  value_.store(v, std::memory_order_relaxed);
+  raise_peak(v);
+}
+
+std::int64_t Gauge::add(std::int64_t n) {
+  const std::int64_t now = value_.fetch_add(n, std::memory_order_relaxed) + n;
+  raise_peak(now);
+  return now;
+}
+
+void Gauge::reset() {
+  value_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed (see trace.cpp)
+  return *registry;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counters() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Registry::gauges() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+  return out;
+}
+
+std::string Registry::report() const {
+  std::ostringstream out;
+  char line[256];
+  for (const auto& [name, h] : histograms()) {
+    if (h->count() == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "%-32s n=%-8llu mean=%-10.4g p50=%-10.4g p95=%-10.4g "
+                  "p99=%-10.4g max=%.4g\n",
+                  name.c_str(), static_cast<unsigned long long>(h->count()),
+                  h->mean(), h->p50(), h->p95(), h->p99(), h->max());
+    out << line;
+  }
+  for (const auto& [name, c] : counters()) {
+    if (c->value() == 0) continue;
+    std::snprintf(line, sizeof line, "%-32s %lld\n", name.c_str(),
+                  static_cast<long long>(c->value()));
+    out << line;
+  }
+  for (const auto& [name, g] : gauges()) {
+    if (g->value() == 0 && g->peak() == 0) continue;
+    std::snprintf(line, sizeof line, "%-32s value=%lld peak=%lld\n",
+                  name.c_str(), static_cast<long long>(g->value()),
+                  static_cast<long long>(g->peak()));
+    out << line;
+  }
+  return out.str();
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+}
+
+}  // namespace pstap::obs

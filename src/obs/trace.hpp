@@ -1,0 +1,204 @@
+// Low-overhead execution tracing with Chrome trace_event JSON export.
+//
+// The recorder collects spans ("X" complete events), instant events ("i"),
+// and counter samples ("C") into per-thread append-only buffers; export
+// merges the buffers into a single `{"traceEvents":[...]}` document loadable
+// in Perfetto / chrome://tracing. Streams are identified by a caller-chosen
+// `pid` (pipeline world rank, I/O server, sim stage) so the UI renders one
+// Gantt row group per rank; label them with set_process_name().
+//
+// Cost model, mirroring common/fault.hpp: when tracing is disabled (the
+// default) every emit call is one relaxed atomic load and returns — no
+// clock read, no allocation. Call sites that must build strings for event
+// details gate that work on trace_enabled(). Timestamps are nanoseconds
+// from std::chrono::steady_clock, rebased at export so traces start near 0;
+// simulated-time producers (sim::SimRunner) instead pass explicit
+// timestamps counted from their own zero epoch.
+//
+// This library sits below common/ (it depends on nothing in pstap), so the
+// fault layer and retry helpers can emit instant events into traces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pstap::obs {
+
+/// One recorded event. `name`/`cat` are expected to be short; `detail`
+/// carries a free-form annotation (fault site, file name) into args.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kComplete, kInstant, kCounter, kMeta };
+
+  Kind kind = Kind::kInstant;
+  std::string name;
+  const char* cat = "";       ///< static literal: "phase", "io", "fault", ...
+  std::int32_t pid = 0;       ///< stream id: world rank, server, sim stage
+  std::int64_t tid = 0;       ///< thread lane within the stream
+  std::int64_t ts_ns = 0;     ///< start (complete) / point (instant/counter)
+  std::int64_t dur_ns = 0;    ///< complete events only
+  std::int64_t cpi = -1;      ///< -1 = not CPI-scoped
+  double value = 0;           ///< counter events only
+  std::string detail;         ///< empty = omitted from args
+};
+
+// Stream-id (pid) allocation. Pipeline world ranks use their rank number
+// directly (0..N-1); the constants below keep synthetic streams clear of
+// any realistic rank count.
+inline constexpr std::int32_t kLibraryPid = 900;       ///< rank-less events
+inline constexpr std::int32_t kIoServerPidBase = 1000; ///< + server index
+
+namespace detail {
+// Single relaxed load on the disabled path (mirrors fault's g_installed).
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True while a recorder session is collecting events.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Nanoseconds on the steady clock (the recorder's time base).
+std::int64_t trace_now_ns();
+
+/// Process-wide event recorder. All emit functions are thread-safe; each
+/// thread appends to its own buffer, so enabled-path contention is nil.
+class TraceRecorder {
+ public:
+  /// The process-wide recorder all emit helpers write to.
+  static TraceRecorder& global();
+
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void enable();
+  void disable();
+
+  /// Drop every recorded event (buffers stay registered to their threads).
+  /// process_name labels survive: components register them at construction
+  /// time, possibly before the session that will use them starts.
+  void clear();
+
+  /// Merged copy of all thread buffers, ts-ascending. Safe to call while
+  /// other threads keep recording (their later events are simply missed).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Label a pid for the trace UI ("rank 3", "pfs sd001", ...).
+  void set_process_name(std::int32_t pid, std::string name);
+
+  /// Write the Chrome trace_event JSON document. Wall-clock timestamps are
+  /// rebased to the smallest recorded ts; explicit-timestamp (simulated)
+  /// events are written as recorded.
+  void write_chrome_json(std::ostream& out) const;
+  void write_chrome_json(const std::filesystem::path& path) const;
+
+  // ------------------------------------------------------------ emitting --
+  // No-ops (one relaxed load) while disabled.
+
+  /// A span: [ts_ns, ts_ns + dur_ns). Explicit timestamps, for producers
+  /// with their own clock (sim) or deferred emission (ScopedSpan).
+  void complete(const char* cat, std::string_view name, std::int32_t pid,
+                std::int64_t ts_ns, std::int64_t dur_ns, std::int64_t cpi = -1,
+                std::string_view detail = {}, std::int64_t tid = -1);
+
+  /// A point-in-time marker at now (fault hit, retry attempt, drop).
+  void instant(const char* cat, std::string_view name, std::int32_t pid,
+               std::int64_t cpi = -1, std::string_view detail = {});
+
+  /// Same, with an explicit timestamp (simulated-time producers).
+  void instant_at(const char* cat, std::string_view name, std::int32_t pid,
+                  std::int64_t ts_ns, std::int64_t cpi = -1,
+                  std::string_view detail = {});
+
+  /// A sampled counter value at now (queue depth, bytes in flight).
+  void counter(const char* cat, std::string_view name, std::int32_t pid,
+               double value);
+
+ private:
+  struct ThreadBuffer;
+
+  ThreadBuffer& local_buffer();
+  void append(TraceEvent event);
+
+  mutable std::mutex mu_;  // guards buffers_ registration and meta_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<TraceEvent> meta_;  // process_name metadata events
+  std::atomic<std::int64_t> next_tid_{0};
+};
+
+/// RAII span: measures once on destruction and, from the SAME clock reads,
+/// adds the elapsed seconds to `sink` (if any), records them into `hist`
+/// (if any), and emits the span (if tracing is enabled) — wall-clock
+/// accounting, distributions and traces can never disagree. With no sink,
+/// no histogram and tracing disabled, construction is one relaxed load.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name, std::int32_t pid,
+             double* sink_seconds = nullptr, std::int64_t cpi = -1,
+             Histogram* hist = nullptr)
+      : cat_(cat), name_(name), pid_(pid), sink_(sink_seconds), hist_(hist),
+        cpi_(cpi), active_(trace_enabled()) {
+    if (active_ || sink_ != nullptr || hist_ != nullptr) {
+      start_ns_ = trace_now_ns();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (!active_ && sink_ == nullptr && hist_ == nullptr) return;
+    const std::int64_t dur = trace_now_ns() - start_ns_;
+    const double seconds = static_cast<double>(dur) * 1e-9;
+    if (sink_ != nullptr) *sink_ += seconds;
+    if (hist_ != nullptr) hist_->record(seconds);
+    if (active_) {
+      TraceRecorder::global().complete(cat_, name_, pid_, start_ns_, dur, cpi_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* cat_;
+  const char* name_;
+  std::int32_t pid_;
+  double* sink_;
+  Histogram* hist_;
+  std::int64_t cpi_;
+  bool active_;
+  std::int64_t start_ns_ = 0;
+};
+
+/// Scope that turns tracing on and exports the collected events on exit.
+///
+/// `path` empty means "consult the PSTAP_TRACE environment variable"; if
+/// that is unset too, the session is passive (tracing state untouched).
+/// A session nested inside an already-active one is also passive, so an
+/// outer owner (a test, trace_explorer) keeps the whole timeline. An
+/// active session clears the recorder on entry: one session == one trace.
+class TraceSession {
+ public:
+  explicit TraceSession(std::filesystem::path path = {});
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// True when this session owns tracing and will export on destruction.
+  bool active() const noexcept { return active_; }
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  bool active_ = false;
+};
+
+}  // namespace pstap::obs

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/wall_clock.hpp"
+#include "obs/trace.hpp"
 
 namespace pstap::pfs {
 
@@ -19,11 +20,17 @@ IoEngine::IoEngine(std::size_t servers, double bandwidth, double latency)
   for (std::size_t s = 0; s < servers; ++s) queues_.push_back(std::make_unique<Queue>());
   read_sites_.reserve(servers);
   write_sites_.reserve(servers);
+  depth_names_.reserve(servers);
+  auto& recorder = obs::TraceRecorder::global();
   for (std::size_t s = 0; s < servers; ++s) {
     char dir[32];
     std::snprintf(dir, sizeof dir, "sd%03zu", s);
     read_sites_.push_back(std::string("pfs.server.read.") + dir);
     write_sites_.push_back(std::string("pfs.server.write.") + dir);
+    depth_names_.push_back(std::string("queue_depth.") + dir);
+    recorder.set_process_name(
+        obs::kIoServerPidBase + static_cast<std::int32_t>(s),
+        std::string("pfs server ") + dir);
   }
   threads_.reserve(servers);
   for (std::size_t s = 0; s < servers; ++s) {
@@ -52,9 +59,20 @@ void IoEngine::submit(std::size_t server, Job job) {
   PSTAP_REQUIRE(server < queues_.size(), "server index out of range");
   PSTAP_REQUIRE(job.state != nullptr, "job has no request state");
   Queue& q = *queues_[server];
+  std::size_t depth = 0;
   {
     std::lock_guard lock(q.mu);
     q.jobs.push_back(std::move(job));
+    depth = q.jobs.size();
+  }
+  // Depth sampled at submit time: with a small stripe factor the same
+  // logical read funnels through fewer queues, so each sample is deeper.
+  queue_depth_.record(static_cast<double>(depth));
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::global().counter(
+        "io", depth_names_[server],
+        obs::kIoServerPidBase + static_cast<std::int32_t>(server),
+        static_cast<double>(depth));
   }
   q.cv.notify_one();
 }
@@ -71,6 +89,7 @@ void IoEngine::service_loop(std::size_t server) {
       q.jobs.pop_front();
     }
 
+    const std::int64_t started_ns = obs::trace_now_ns();
     const Seconds started = monotonic_now();
     std::exception_ptr error;
     try {
@@ -120,6 +139,18 @@ void IoEngine::service_loop(std::size_t server) {
       if (remaining > 0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
       }
+    }
+
+    // Per-chunk service time (dequeue -> completion, modeled sleep
+    // included) — one clock pair feeds both the histogram and the span.
+    const std::int64_t served_ns = obs::trace_now_ns() - started_ns;
+    service_time_.record(static_cast<double>(served_ns) * 1e-9);
+    if (obs::trace_enabled()) {
+      obs::TraceRecorder::global().complete(
+          "io", job.is_write ? "serve.write" : "serve.read",
+          obs::kIoServerPidBase + static_cast<std::int32_t>(server), started_ns,
+          served_ns, /*cpi=*/-1,
+          error ? "failed" : std::string_view{});
     }
 
     job.state->complete_one(error);

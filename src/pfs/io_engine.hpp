@@ -21,6 +21,7 @@
 
 #include "common/retry.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace pstap::pfs {
 
@@ -143,6 +144,22 @@ class IoEngine {
   /// Total bytes serviced so far (reads + writes), for tests/benches.
   std::uint64_t bytes_serviced() const;
 
+  // ------------------------------------------------------- observability --
+  // Per-engine distributions (reset-free: an engine lives for one mount).
+
+  /// Queue depth of the chunk's stripe-directory queue, sampled at every
+  /// submit — the paper's funnel: small stripe factors produce deep queues.
+  const obs::Histogram& queue_depth() const noexcept { return queue_depth_; }
+
+  /// Wall seconds from dequeue to completion per chunk, including the
+  /// modeled service rate — what a client's wait is made of.
+  const obs::Histogram& service_time() const noexcept { return service_time_; }
+
+  /// Wall seconds a logical StripedFile submit spent splitting and
+  /// enqueueing chunks (client-side cost before any service happens).
+  const obs::Histogram& submit_latency() const noexcept { return submit_latency_; }
+  void record_submit_latency(double seconds) { submit_latency_.record(seconds); }
+
  private:
   struct Queue {
     std::mutex mu;
@@ -158,9 +175,14 @@ class IoEngine {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> bytes_serviced_{0};
-  // Fault-injection site names, precomputed so the hot path never formats.
+  obs::Histogram queue_depth_;
+  obs::Histogram service_time_;
+  obs::Histogram submit_latency_;
+  // Fault-injection site and trace-counter names, precomputed so the hot
+  // path never formats.
   std::vector<std::string> read_sites_;   // "pfs.server.read.sdNNN"
   std::vector<std::string> write_sites_;  // "pfs.server.write.sdNNN"
+  std::vector<std::string> depth_names_;  // "queue_depth.sdNNN"
 };
 
 }  // namespace pstap::pfs

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "obs/trace.hpp"
 
 namespace pstap::pfs {
 
@@ -265,13 +266,22 @@ IoRequest StripedFile::submit(std::uint64_t offset, std::byte* buf, std::size_t 
                               bool is_write) {
   // Logical-level injection site: faults armed here fail the whole request
   // up front (a metadata/open-path failure), before any chunk is queued.
+  const std::int64_t started_ns = obs::trace_now_ns();
   fault::inject((is_write ? "pfs.file.write." : "pfs.file.read.") + name_);
   IoRequest req = fs_->engine().make_request(count_chunks(offset, len));
   submit_jobs(offset, buf, len, is_write, req.state_);
+  const std::int64_t dur_ns = obs::trace_now_ns() - started_ns;
+  fs_->engine().record_submit_latency(static_cast<double>(dur_ns) * 1e-9);
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::global().complete(
+        "io", is_write ? "submit.write" : "submit.read", obs::kLibraryPid,
+        started_ns, dur_ns, /*cpi=*/-1, name_);
+  }
   return req;
 }
 
 IoRequest StripedFile::iread_gather(std::span<const IoSegment> segments) {
+  const std::int64_t started_ns = obs::trace_now_ns();
   fault::inject("pfs.file.read." + name_);
   const std::uint64_t file_size = size();
   std::size_t chunks = 0;
@@ -287,6 +297,12 @@ IoRequest StripedFile::iread_gather(std::span<const IoSegment> segments) {
       submit_jobs(seg.offset, seg.buf.data(), seg.buf.size(), /*is_write=*/false,
                   req.state_);
     }
+  }
+  const std::int64_t dur_ns = obs::trace_now_ns() - started_ns;
+  fs_->engine().record_submit_latency(static_cast<double>(dur_ns) * 1e-9);
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::global().complete("io", "submit.gather", obs::kLibraryPid,
+                                          started_ns, dur_ns, /*cpi=*/-1, name_);
   }
   if (!fs_->config().supports_async) req.wait();  // PIOFS semantics
   return req;

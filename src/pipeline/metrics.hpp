@@ -6,9 +6,11 @@
 //                weight tasks (their consumers use previous-CPI data).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/task_spec.hpp"
 
 namespace pstap::pipeline {
@@ -22,6 +24,13 @@ struct TaskTiming {
   Seconds compute = 0;
   Seconds send = 0;
 
+  /// Per-CPI phase-duration distributions, merged across every node of the
+  /// task (the scalar fields above report only the slowest node's average;
+  /// the histograms keep the tail). Functional runner only; empty in sim.
+  obs::Histogram receive_hist;
+  obs::Histogram compute_hist;
+  obs::Histogram send_hist;
+
   Seconds total() const { return receive + compute + send; }
 };
 
@@ -33,6 +42,20 @@ struct PipelineMetrics {
   /// permanently, the pipeline zero-filled the slab and suppressed the
   /// CPI's detections instead of wedging (functional runner only).
   int dropped_cpis = 0;
+
+  /// I/O-side distributions for one run, copied from the run's IoEngine
+  /// (plus fault/retry counters). Functional runner only; empty in sim.
+  struct IoStats {
+    obs::Histogram queue_depth;     ///< per-submit stripe-queue depth
+    obs::Histogram service_time;    ///< per-chunk service seconds
+    obs::Histogram submit_latency;  ///< per-logical-request submit seconds
+    std::uint64_t bytes_serviced = 0;
+    std::uint64_t retries = 0;          ///< retry sleeps during the run
+    std::uint64_t injected_delays = 0;  ///< from the run's fault plan
+    std::uint64_t injected_errors = 0;
+    std::uint64_t injected_partials = 0;
+  };
+  IoStats io;
 
   /// CPIs per second: 1 / max_i T_i (paper eq. 1/3).
   double throughput() const;

@@ -10,6 +10,7 @@
 
 #include "common/wall_clock.hpp"
 #include "mp/world.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/collective_read.hpp"
 #include "pipeline/partition.hpp"
 #include "stap/beamform.hpp"
@@ -65,6 +66,7 @@ struct Assignment {
 
 struct Phase {
   Seconds recv = 0, comp = 0, send = 0;
+  obs::Histogram recv_hist, comp_hist, send_hist;  // per timed CPI
 };
 
 struct SharedResults {
@@ -102,20 +104,28 @@ struct NodeCtx {
   }
 };
 
-/// Per-CPI phase timing accumulator.
+/// Per-CPI phase timing accumulator. Each phase section runs under an
+/// obs::ScopedSpan, so one clock pair feeds the wall-clock sums, the phase
+/// histograms, and (when tracing) the emitted span — they cannot disagree.
+/// Spans are emitted for every CPI; the sums/histograms only count timed
+/// (post-warmup) ones. An outer "cpi" span wraps each CPI's phases.
 class PhaseClock {
  public:
-  PhaseClock(const RunOptions& opt, Phase& out, std::string fault_site)
-      : opt_(opt), out_(out), fault_site_(std::move(fault_site)) {}
+  PhaseClock(const RunOptions& opt, Phase& out, std::string fault_site, int rank)
+      : opt_(opt), out_(out), fault_site_(std::move(fault_site)), rank_(rank) {}
 
   void start_cpi(int cpi) {
+    end_cpi_span();
     // Stage-boundary injection site: armed delays stall this node exactly
     // where a real hiccup (page fault, scheduler preemption) would land.
     // Delay-only — stage boundaries have no retry/degradation story.
     fault::inject_delay_only(fault_site_);
     timed_ = cpi >= opt_.warmup;
+    cpi_ = cpi;
+    if (obs::trace_enabled()) cpi_start_ns_ = obs::trace_now_ns();
   }
   void finish() {
+    end_cpi_span();
     const int timed_cpis = std::max(1, opt_.cpis - opt_.warmup);
     out_.recv = recv_ / timed_cpis;
     out_.comp = comp_ / timed_cpis;
@@ -124,28 +134,39 @@ class PhaseClock {
 
   // Scoped phase sections.
   template <typename F>
-  void recv(F&& f) { timed_section(recv_, std::forward<F>(f)); }
+  void recv(F&& f) { timed_section("receive", recv_, out_.recv_hist, std::forward<F>(f)); }
   template <typename F>
-  void comp(F&& f) { timed_section(comp_, std::forward<F>(f)); }
+  void comp(F&& f) { timed_section("compute", comp_, out_.comp_hist, std::forward<F>(f)); }
   template <typename F>
-  void send(F&& f) { timed_section(send_, std::forward<F>(f)); }
+  void send(F&& f) { timed_section("send", send_, out_.send_hist, std::forward<F>(f)); }
 
  private:
   template <typename F>
-  void timed_section(Seconds& sink, F&& f) {
-    if (!timed_) {
-      f();
-      return;
-    }
-    const Seconds t0 = monotonic_now();
+  void timed_section(const char* name, Seconds& sink, obs::Histogram& hist, F&& f) {
+    obs::ScopedSpan span("pipeline", name, rank_, timed_ ? &sink : nullptr,
+                         cpi_, timed_ ? &hist : nullptr);
     f();
-    sink += monotonic_now() - t0;
+  }
+
+  /// Deferred emission of the enclosing per-CPI span: it closes when the
+  /// next CPI starts (or at finish()), so it brackets all three phases.
+  void end_cpi_span() {
+    if (cpi_start_ns_ < 0) return;
+    if (obs::trace_enabled()) {
+      obs::TraceRecorder::global().complete(
+          "pipeline", "cpi", rank_, cpi_start_ns_,
+          obs::trace_now_ns() - cpi_start_ns_, cpi_);
+    }
+    cpi_start_ns_ = -1;
   }
 
   const RunOptions& opt_;
   Phase& out_;
   std::string fault_site_;
+  int rank_;
   bool timed_ = false;
+  int cpi_ = -1;
+  std::int64_t cpi_start_ns_ = -1;
   Seconds recv_ = 0, comp_ = 0, send_ = 0;
 };
 
@@ -260,6 +281,7 @@ class SlabReader {
           return buf;
         }
       }
+      note_io_retry("slab read of cpi " + std::to_string(cpi), attempt + 1);
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       backoff = std::min(retry.max_backoff, backoff * retry.backoff_multiplier);
       start(cpi);
@@ -777,6 +799,11 @@ ThreadRunner::ThreadRunner(PipelineSpec spec, RunOptions options)
 RunResult ThreadRunner::run() {
   const auto& p = spec_.params;
 
+  // Tracing session for this run (trace_path, else PSTAP_TRACE, else off).
+  // Opened before the file system so I/O-server activity is captured too.
+  obs::TraceSession trace_session(options_.trace_path);
+  const std::uint64_t retries_before = io_retry_counter().value();
+
   // Install the fault plan (if any) for the whole run: radar-side writes,
   // pipeline reads, message passing, and stage boundaries all see it.
   std::optional<fault::FaultScope> fault_scope;
@@ -794,6 +821,14 @@ RunResult ThreadRunner::run() {
 
   const Assignment assign(spec_);
   const int total = spec_.total_nodes();
+  // Label each rank's trace stream "rank N <task>.<local>" up front.
+  for (int r = 0; r < total; ++r) {
+    const auto [task, local] = assign.locate(r);
+    obs::TraceRecorder::global().set_process_name(
+        r, "rank " + std::to_string(r) + " " +
+               task_name(spec_.tasks[static_cast<std::size_t>(task)].kind) + "." +
+               std::to_string(local));
+  }
   SharedResults results;
   results.avg_phase.resize(static_cast<std::size_t>(total));
   results.detections.resize(static_cast<std::size_t>(total));
@@ -806,7 +841,8 @@ RunResult ThreadRunner::run() {
     PhaseClock clock(
         options_, results.avg_phase[static_cast<std::size_t>(comm.rank())],
         std::string("pipeline.stage.") +
-            task_name(spec_.tasks[static_cast<std::size_t>(task)].kind));
+            task_name(spec_.tasks[static_cast<std::size_t>(task)].kind),
+        comm.rank());
     switch (spec_.tasks[static_cast<std::size_t>(task)].kind) {
       case TaskKind::kParallelRead: run_read_node(ctx, clock); break;
       case TaskKind::kDoppler: run_doppler_node(ctx, clock); break;
@@ -835,6 +871,11 @@ RunResult ThreadRunner::run() {
       const Phase& ph =
           results.avg_phase[static_cast<std::size_t>(assign.world_rank(
               static_cast<int>(t), n))];
+      // Scalars: the slowest node's averages. Histograms: merged over every
+      // node, so the distribution keeps the whole task's per-CPI spread.
+      timing.receive_hist.merge(ph.recv_hist);
+      timing.compute_hist.merge(ph.comp_hist);
+      timing.send_hist.merge(ph.send_hist);
       const Seconds tot = ph.recv + ph.comp + ph.send;
       if (tot > worst) {
         worst = tot;
@@ -844,6 +885,18 @@ RunResult ThreadRunner::run() {
       }
     }
     result.metrics.tasks.push_back(timing);
+  }
+  // I/O-side distributions and counters for this run (the engine and the
+  // fault plan both live exactly one run, so these are per-run snapshots).
+  result.metrics.io.queue_depth = fs.engine().queue_depth();
+  result.metrics.io.service_time = fs.engine().service_time();
+  result.metrics.io.submit_latency = fs.engine().submit_latency();
+  result.metrics.io.bytes_serviced = fs.engine().bytes_serviced();
+  result.metrics.io.retries = io_retry_counter().value() - retries_before;
+  if (options_.fault_plan) {
+    result.metrics.io.injected_delays = options_.fault_plan->injected_delays();
+    result.metrics.io.injected_errors = options_.fault_plan->injected_errors();
+    result.metrics.io.injected_partials = options_.fault_plan->injected_partials();
   }
   // Union the per-rank dropped-CPI sets and suppress those CPIs'
   // detections: a degraded read zero-fills only one node's slab, so the

@@ -67,6 +67,12 @@ struct RunOptions {
   /// whole server when only the pipeline side should fault.
   std::shared_ptr<fault::FaultPlan> fault_plan;
 
+  /// Chrome trace_event JSON output. Non-empty: run() records a trace (per
+  /// rank/CPI/phase spans, I/O server activity, fault markers) and writes
+  /// it here. Empty: the PSTAP_TRACE environment variable is consulted;
+  /// unset leaves tracing off (one relaxed load per would-be event).
+  std::filesystem::path trace_path;
+
   RunOptions() : fs_config(pfs::paragon_pfs(4)) {}
 };
 

@@ -1,8 +1,12 @@
 #include "sim/sim_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <map>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace pstap::sim {
 
@@ -54,6 +58,18 @@ SimResult SimRunner::run() {
     s.next_k.resize(static_cast<std::size_t>(s.replicas));
     s.busy.assign(static_cast<std::size_t>(s.replicas), false);
     for (int r = 0; r < s.replicas; ++r) s.next_k[static_cast<std::size_t>(r)] = r;
+  }
+
+  // Simulated-time tracing: one stream per stage, one lane per replica.
+  // Timestamps are simulated seconds scaled to ns, counted from the sim's
+  // own zero epoch (the exporter does not rebase them further in practice:
+  // a trace holds either wall-clock or simulated events, not both).
+  if (obs::trace_enabled()) {
+    for (int i = 0; i < n; ++i) {
+      obs::TraceRecorder::global().set_process_name(
+          i, std::string("sim ") +
+                 pipeline::task_name(stages[static_cast<std::size_t>(i)].cost.kind));
+    }
   }
 
   const auto idx = [&](TaskKind kind) { return spec.find(kind); };
@@ -123,6 +139,13 @@ SimResult SimRunner::run() {
         self.next_k[ri] = k + self.replicas;
         self.arrived.erase(k);
         if (timed) self.busy_time += self.cost.occupancy;
+        if (obs::trace_enabled()) {
+          const std::int64_t dur_ns = std::llround(self.cost.occupancy * 1e9);
+          const std::int64_t end_ns = std::llround(queue.now() * 1e9);
+          obs::TraceRecorder::global().complete(
+              "sim", pipeline::task_name(self.cost.kind), si, end_ns - dur_ns,
+              dur_ns, k, /*detail=*/{}, /*tid=*/static_cast<std::int64_t>(ri));
+        }
         if (si == i_last) exit_t[static_cast<std::size_t>(k)] = queue.now();
         for (const Stage::OutEdge& e : self.out) {
           const int dest_k = k + e.delay;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace pstap::stap {
 
 std::uint64_t cpi_file_bytes(const RadarParams& params) {
@@ -60,6 +62,7 @@ DataCube read_cpi_slab(pfs::StripedFile& file, const RadarParams& params,
                        std::size_t r0, std::size_t r1, FileLayout layout,
                        const RetryPolicy& retry) {
   PSTAP_REQUIRE(r0 < r1, "empty range slab");
+  obs::ScopedSpan span("io", "read_cpi_slab", obs::kLibraryPid);
   std::vector<cfloat> raw(slab_elements(params, r0, r1));
   with_retry(retry, "read_cpi_slab(" + file.name() + ")", [&] {
     pfs::IoRequest req = start_read_cpi_slab(file, params, r0, r1, raw, layout);

@@ -1,0 +1,581 @@
+// Tests for the observability layer: histogram bucket/percentile/merge
+// math, Chrome trace JSON export (well-formedness and span nesting under
+// concurrent emitters), the one-load disabled fast path (no allocations),
+// IoEngine queue-depth distributions, and the functional runner's
+// PSTAP_TRACE acceptance: spans for every task phase of every CPI plus an
+// instant event for every injected fault.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pfs/striped_file_system.hpp"
+#include "pipeline/task_spec.hpp"
+#include "pipeline/thread_runner.hpp"
+
+// ------------------------------------------------- allocation counting --
+// Global operator new instrumented with a thread-local counter so the
+// disabled-tracing fast path can be proven allocation-free. This test
+// binary only; counts this thread's allocations, so other threads (none
+// during that test) cannot perturb it.
+
+namespace {
+thread_local std::int64_t t_alloc_count = 0;
+}  // namespace
+
+// GCC pairs call sites against the replacement operators and warns that
+// malloc-backed new is freed with free(); the pairing here is exactly
+// new->malloc / delete->free, so the warning is a false positive.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pstap {
+namespace {
+
+namespace fsys = std::filesystem;
+
+// ------------------------------------------------------ mini JSON parser --
+// Small recursive-descent parser: enough JSON to load a Chrome trace and
+// fail loudly on malformed output. Throws std::runtime_error on any error.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  const Json& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.contains(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("JSON error at byte " + std::to_string(pos_) +
+                             ": " + what);
+  }
+  void ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json value() {
+    ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (consume("true")) {
+      Json v;
+      v.type = Json::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume("false")) {
+      Json v;
+      v.type = Json::Type::kBool;
+      return v;
+    }
+    if (consume("null")) return {};
+    return number();
+  }
+
+  Json object() {
+    Json v;
+    v.type = Json::Type::kObject;
+    expect('{');
+    ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      ws();
+      Json key = string();
+      ws();
+      expect(':');
+      v.object.emplace(std::move(key.str), value());
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.type = Json::Type::kArray;
+    expect('[');
+    ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json string() {
+    Json v;
+    v.type = Json::Type::kString;
+    expect('"');
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.str.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.str.push_back('"'); break;
+        case '\\': v.str.push_back('\\'); break;
+        case '/': v.str.push_back('/'); break;
+        case 'n': v.str.push_back('\n'); break;
+        case 't': v.str.push_back('\t'); break;
+        case 'r': v.str.push_back('\r'); break;
+        case 'b': v.str.push_back('\b'); break;
+        case 'f': v.str.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(std::string(text_.substr(pos_, 4)).c_str(), nullptr, 16));
+          pos_ += 4;
+          // Control characters only in our exporter; keep the low byte.
+          v.str.push_back(static_cast<char>(code & 0x7f));
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Json v;
+    v.type = Json::Type::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Json parse_trace_file(const fsys::path& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return JsonParser(buf.str()).parse();
+}
+
+// ---------------------------------------------------------- Histogram --
+
+TEST(Histogram, BucketIndexMatchesBounds) {
+  for (const std::size_t i : {0u, 1u, 5u, 17u, 63u, 126u}) {
+    const double lo = obs::Histogram::bucket_lower_bound(i);
+    const double hi = obs::Histogram::bucket_lower_bound(i + 1);
+    EXPECT_LT(lo, hi);
+    // A value strictly inside the bucket maps back to the bucket.
+    EXPECT_EQ(obs::Histogram::bucket_index(std::sqrt(lo * hi)), i) << i;
+  }
+  // Values at/below the floor clamp into bucket 0; huge values into the top.
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(-3.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1e300), obs::Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, CountSumExtremaAndQuantiles) {
+  obs::Histogram h;
+  double sum = 0;
+  for (int i = 1; i <= 1000; ++i) {
+    h.record(i * 1e-3);  // 1ms .. 1000ms
+    sum += i * 1e-3;
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.sum(), sum, 1e-9);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  // Bucket resolution is sqrt(2): estimates within that factor of truth.
+  const double kRatio = std::sqrt(2.0);
+  EXPECT_GE(h.p50(), 0.5 / kRatio);
+  EXPECT_LE(h.p50(), 0.5 * kRatio);
+  EXPECT_GE(h.p95(), 0.95 / kRatio);
+  EXPECT_LE(h.p95(), 0.95 * kRatio);
+  EXPECT_GE(h.p99(), 0.99 / kRatio);
+  EXPECT_LE(h.p99(), 1.0);  // clamped to the observed max
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.0));
+}
+
+TEST(Histogram, MergeIsLossless) {
+  obs::Histogram a, b, all;
+  for (int i = 1; i <= 500; ++i) {
+    a.record(i * 1e-6);
+    all.record(i * 1e-6);
+  }
+  for (int i = 1; i <= 300; ++i) {
+    b.record(i * 1e-2);
+    all.record(i * 1e-2);
+  }
+  obs::Histogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.sum(), all.sum(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    EXPECT_EQ(merged.bucket_count(i), all.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(merged.p95(), all.p95());
+  // Copy construction snapshots.
+  const obs::Histogram copy = merged;
+  EXPECT_EQ(copy.count(), merged.count());
+  EXPECT_DOUBLE_EQ(copy.p50(), merged.p50());
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  const obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(Registry, ReferencesAreStableAndReportRenders) {
+  auto& c = obs::Registry::global().counter("test.registry.counter");
+  auto& c2 = obs::Registry::global().counter("test.registry.counter");
+  EXPECT_EQ(&c, &c2);
+  c.add(3);
+  auto& g = obs::Registry::global().gauge("test.registry.gauge");
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.peak(), 5);
+  obs::Registry::global().histogram("test.registry.hist").record(1.0);
+  const std::string report = obs::Registry::global().report();
+  EXPECT_NE(report.find("test.registry.counter"), std::string::npos);
+  EXPECT_NE(report.find("test.registry.hist"), std::string::npos);
+}
+
+// -------------------------------------------------------------- tracing --
+
+TEST(Trace, ChromeJsonWellFormedAndSpansNestUnderConcurrency) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+  constexpr int kThreads = 4;
+  constexpr int kOuter = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kOuter; ++i) {
+        obs::ScopedSpan outer("test", "outer", /*pid=*/t, nullptr, i);
+        {
+          obs::ScopedSpan inner("test", "inner", t, nullptr, i);
+          obs::TraceRecorder::global().instant("test", "mark", t, i);
+        }
+        obs::ScopedSpan inner2("test", "inner2", t, nullptr, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  rec.disable();
+
+  std::ostringstream out;
+  rec.write_chrome_json(out);
+  const Json doc = JsonParser(out.str()).parse();  // throws if malformed
+  const auto& events = doc.at("traceEvents").array;
+  EXPECT_GE(events.size(), static_cast<std::size_t>(kThreads * kOuter * 3));
+
+  // Spans grouped per (pid, tid) must nest: sorted by ts, each span either
+  // starts after the previous ends or closes before it does.
+  std::map<std::pair<int, int>, std::vector<std::pair<double, double>>> spans;
+  int outers = 0;
+  for (const Json& e : events) {
+    const std::string ph = e.at("ph").str;
+    EXPECT_TRUE(ph == "X" || ph == "i" || ph == "C" || ph == "M") << ph;
+    if (ph != "X") continue;
+    const double ts = e.at("ts").number;
+    const double dur = e.at("dur").number;
+    EXPECT_GE(dur, 0.0);
+    spans[{static_cast<int>(e.at("pid").number),
+           static_cast<int>(e.at("tid").number)}]
+        .emplace_back(ts, ts + dur);
+    if (e.at("name").str == "outer") ++outers;
+  }
+  EXPECT_EQ(outers, kThreads * kOuter);
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads));
+  const double kEps = 0.002;  // exporter rounds to 1/1000 us
+  for (const auto& [key, list] : spans) {
+    auto sorted = list;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::pair<double, double>> stack;
+    for (const auto& [lo, hi] : sorted) {
+      while (!stack.empty() && stack.back().second <= lo + kEps) stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(hi, stack.back().second + kEps)
+            << "span [" << lo << "," << hi << ") straddles its parent";
+      }
+      stack.emplace_back(lo, hi);
+    }
+  }
+}
+
+TEST(Trace, DisabledEmitPathDoesNotAllocate) {
+  ASSERT_FALSE(obs::trace_enabled());
+  auto& rec = obs::TraceRecorder::global();
+  // Warm up any lazily-created state, then measure.
+  rec.instant("test", "warm", 1);
+  const std::int64_t before = t_alloc_count;
+  for (int i = 0; i < 256; ++i) {
+    rec.instant("test", "x", 1);
+    rec.counter("test", "c", 1, 2.0);
+    rec.complete("test", "s", 1, 0, 10);
+    obs::ScopedSpan span("test", "s", 1);
+  }
+  EXPECT_EQ(t_alloc_count, before) << "disabled tracing must not allocate";
+}
+
+TEST(Trace, SessionHonorsEnvAndNestedSessionsArePassive) {
+  const fsys::path path =
+      fsys::temp_directory_path() /
+      ("pstap_obs_env_" + std::to_string(::getpid()) + ".trace.json");
+  ::setenv("PSTAP_TRACE", path.string().c_str(), 1);
+  {
+    obs::TraceSession session;  // picks the path up from the environment
+    EXPECT_TRUE(session.active());
+    EXPECT_TRUE(obs::trace_enabled());
+    {
+      obs::TraceSession nested;  // an active outer session owns the trace
+      EXPECT_FALSE(nested.active());
+    }
+    EXPECT_TRUE(obs::trace_enabled()) << "nested session must not disable";
+    obs::TraceRecorder::global().instant("test", "env", 1);
+  }
+  ::unsetenv("PSTAP_TRACE");
+  EXPECT_FALSE(obs::trace_enabled());
+  const Json doc = parse_trace_file(path);
+  bool found = false;
+  for (const Json& e : doc.at("traceEvents").array) {
+    found |= e.at("name").str == "env";
+  }
+  EXPECT_TRUE(found);
+  fsys::remove(path);
+}
+
+TEST(Trace, SessionWithoutPathOrEnvIsPassive) {
+  ::unsetenv("PSTAP_TRACE");
+  obs::TraceSession session;
+  EXPECT_FALSE(session.active());
+  EXPECT_FALSE(obs::trace_enabled());
+}
+
+// ----------------------------------------------------- IoEngine metrics --
+
+struct DepthProbe {
+  double p95 = 0;
+  double max = 0;
+  std::uint64_t samples = 0;
+};
+
+DepthProbe probe_queue_depth(std::size_t stripe_factor) {
+  const fsys::path root =
+      fsys::temp_directory_path() /
+      ("pstap_obs_depth_" + std::to_string(::getpid()) + "_sf" +
+       std::to_string(stripe_factor));
+  fsys::remove_all(root);
+  pfs::PfsConfig cfg = pfs::paragon_pfs(stripe_factor);
+  cfg.server_latency = 200e-6;  // finite service so submits pile up
+  DepthProbe probe;
+  {
+    pfs::StripedFileSystem fs(root, cfg);
+    constexpr std::size_t kChunks = 64;
+    std::vector<std::byte> data(kChunks * cfg.stripe_unit);
+    fs.write_file("depth", data);
+    pfs::StripedFile file = fs.open("depth");
+    for (int rep = 0; rep < 2; ++rep) file.read(0, data);
+    probe.p95 = fs.engine().queue_depth().quantile(0.95);
+    probe.max = fs.engine().queue_depth().max();
+    probe.samples = fs.engine().queue_depth().count();
+    EXPECT_GT(fs.engine().service_time().count(), 0u);
+    EXPECT_GT(fs.engine().submit_latency().count(), 0u);
+  }
+  fsys::remove_all(root);
+  return probe;
+}
+
+TEST(IoEngineObs, SmallStripeFactorDeepensQueues) {
+  // The same 64-chunk logical reads against 4 vs 16 stripe directories:
+  // fewer queues must mean deeper queues — the paper's funnel, observed in
+  // the engine's own distribution rather than inferred from throughput.
+  const DepthProbe sf4 = probe_queue_depth(4);
+  const DepthProbe sf16 = probe_queue_depth(16);
+  EXPECT_EQ(sf4.samples, sf16.samples) << "identical submit pattern expected";
+  EXPECT_GT(sf4.max, sf16.max);
+  EXPECT_GT(sf4.p95, sf16.p95);
+}
+
+// --------------------------------------- functional runner acceptance --
+
+TEST(ThreadRunnerTrace, SpansForEveryPhaseAndInstantsForEveryFault) {
+  const fsys::path root =
+      fsys::temp_directory_path() /
+      ("pstap_obs_runner_" + std::to_string(::getpid()));
+  const fsys::path trace_path = root / "pipeline.trace.json";
+  fsys::remove_all(root);
+  fsys::create_directories(root);
+
+  const auto p = stap::RadarParams::test_small();
+  const auto spec = pipeline::PipelineSpec::embedded_io(p, {2, 1, 1, 1, 1, 1, 1});
+  pipeline::RunOptions opt;
+  opt.cpis = 3;
+  opt.warmup = 1;
+  opt.seed = 11;
+  opt.fs_root = root / "fs";
+  opt.io_retry.max_attempts = 10;
+  opt.io_retry.initial_backoff = 1e-4;
+
+  // Arm faults on the stage boundaries and the server read path; every
+  // decision that fires must surface as an instant event in the trace.
+  auto plan = std::make_shared<fault::FaultPlan>(5);
+  plan->arm_delay("pipeline.stage", 0.3, 1e-4, 3e-4);
+  plan->arm_transient_error("pfs.server.read", 0.05);
+  opt.fault_plan = plan;
+
+  // Exercise the environment-variable path the acceptance criteria name.
+  ::setenv("PSTAP_TRACE", trace_path.string().c_str(), 1);
+  pipeline::ThreadRunner runner(spec, opt);
+  const pipeline::RunResult result = runner.run();
+  ::unsetenv("PSTAP_TRACE");
+
+  EXPECT_EQ(result.metrics.dropped_cpis, 0);
+  const Json doc = parse_trace_file(trace_path);  // throws if malformed
+
+  // (rank, cpi) -> set of phase names seen; plus fault instant count.
+  std::map<std::pair<int, int>, std::set<std::string>> phases;
+  std::uint64_t fault_instants = 0;
+  for (const Json& e : doc.at("traceEvents").array) {
+    const std::string ph = e.at("ph").str;
+    if (ph == "i" && e.at("cat").str == "fault") ++fault_instants;
+    if (ph != "X" || e.at("cat").str != "pipeline") continue;
+    const std::string& name = e.at("name").str;
+    if (name != "receive" && name != "compute" && name != "send") continue;
+    ASSERT_TRUE(e.at("args").has("cpi")) << name;
+    phases[{static_cast<int>(e.at("pid").number),
+            static_cast<int>(e.at("args").at("cpi").number)}]
+        .insert(name);
+  }
+
+  const int total = spec.total_nodes();
+  for (int rank = 0; rank < total; ++rank) {
+    for (int cpi = 0; cpi < opt.cpis; ++cpi) {
+      const auto it = phases.find({rank, cpi});
+      ASSERT_NE(it, phases.end()) << "rank " << rank << " cpi " << cpi;
+      EXPECT_EQ(it->second.size(), 3u)
+          << "rank " << rank << " cpi " << cpi << " missing a phase span";
+    }
+  }
+
+  const std::uint64_t injected = plan->injected_delays() +
+                                 plan->injected_errors() +
+                                 plan->injected_partials();
+  EXPECT_GT(injected, 0u) << "fault plan never fired; weaken probabilities?";
+  EXPECT_EQ(fault_instants, injected);
+
+  // Phase histograms surfaced per task and the run's I/O stats block.
+  for (const auto& t : result.metrics.tasks) {
+    const auto timed =
+        static_cast<std::uint64_t>((opt.cpis - opt.warmup) * t.nodes);
+    EXPECT_EQ(t.receive_hist.count(), timed) << pipeline::task_name(t.kind);
+    EXPECT_EQ(t.compute_hist.count(), timed) << pipeline::task_name(t.kind);
+    EXPECT_EQ(t.send_hist.count(), timed) << pipeline::task_name(t.kind);
+  }
+  EXPECT_GT(result.metrics.io.queue_depth.count(), 0u);
+  EXPECT_GT(result.metrics.io.service_time.count(), 0u);
+  EXPECT_GT(result.metrics.io.bytes_serviced, 0u);
+  EXPECT_EQ(result.metrics.io.injected_delays, plan->injected_delays());
+  EXPECT_EQ(result.metrics.io.injected_errors, plan->injected_errors());
+
+  fsys::remove_all(root);
+}
+
+}  // namespace
+}  // namespace pstap
