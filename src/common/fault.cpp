@@ -116,6 +116,42 @@ void FaultPlan::arm_partial_read(std::string site, double probability,
   rules_.push_back(std::move(rule));
 }
 
+void FaultPlan::arm_crash(std::string site, std::uint64_t at_index) {
+  auto rule = std::make_unique<Rule>();
+  rule->site = std::move(site);
+  rule->kind = Kind::kCrash;
+  rule->at_index = at_index;
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+void FaultPlan::arm_corruption(std::string site, double probability,
+                               std::uint64_t max_hits) {
+  PSTAP_REQUIRE(probability >= 0 && probability <= 1,
+                "fault: corruption probability must be in [0,1]");
+  auto rule = std::make_unique<Rule>();
+  rule->site = std::move(site);
+  rule->kind = Kind::kCorrupt;
+  rule->probability = probability;
+  rule->max_hits = max_hits;
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+bool FaultPlan::should_crash(std::string_view site, std::uint64_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& rule_ptr : rules_) {
+    Rule& rule = *rule_ptr;
+    if (rule.kind != Kind::kCrash || !rule_matches(rule.site, site)) continue;
+    if (rule.at_index != index) continue;
+    if (rule.hits.load(std::memory_order_relaxed) > 0) continue;  // fires once
+    rule.hits.fetch_add(1, std::memory_order_relaxed);
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
 Decision FaultPlan::next(std::string_view site) {
   Decision decision;
   std::lock_guard<std::mutex> lock(mu_);
@@ -184,6 +220,19 @@ Decision FaultPlan::next(std::string_view site) {
         }
         break;
       }
+      case Kind::kCorrupt: {
+        if (rule.max_hits && rule.hits.load(std::memory_order_relaxed) >= rule.max_hits) break;
+        const double draw =
+            unit_uniform(seed_, site_hash, occurrence, /*salt=*/0x41);
+        if (draw < rule.probability) {
+          decision.corrupt = true;
+          rule.hits.fetch_add(1, std::memory_order_relaxed);
+          corruptions_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case Kind::kCrash:
+        break;  // crash rules are indexed, consulted via should_crash()
     }
   }
   return decision;
@@ -225,6 +274,9 @@ void trace_decision(std::string_view site, const Decision& decision) {
   if (decision.deliver_fraction < 1.0) {
     recorder.instant("fault", "fault.partial_read", obs::kLibraryPid, -1, site);
   }
+  if (decision.corrupt) {
+    recorder.instant("fault", "fault.corrupt", obs::kLibraryPid, -1, site);
+  }
 }
 
 }  // namespace
@@ -254,6 +306,18 @@ void inject_delay_only(std::string_view site) {
   if (decision.delay > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(decision.delay));
   }
+}
+
+void inject_crash(std::string_view site, std::uint64_t index) {
+  auto plan = current_plan();
+  if (!plan || !plan->should_crash(site, index)) return;
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::global().instant("fault", "fault.crash", obs::kLibraryPid,
+                                         static_cast<std::int64_t>(index), site);
+  }
+  throw InjectedCrash("injected crash at " + std::string(site) + " (index " +
+                          std::to_string(index) + ")",
+                      std::string(site), index);
 }
 
 }  // namespace pstap::fault

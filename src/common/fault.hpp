@@ -39,11 +39,12 @@ namespace pstap::fault {
 struct Decision {
   bool fail = false;            ///< raise InjectedError
   bool permanent = false;       ///< the error is permanent (retries are futile)
+  bool corrupt = false;         ///< flip bits in the payload before delivery
   Seconds delay = 0;            ///< sleep this long before proceeding
   double deliver_fraction = 1;  ///< partial read: serve only this fraction
 
   bool faulted() const {
-    return fail || delay > 0 || deliver_fraction < 1.0;
+    return fail || corrupt || delay > 0 || deliver_fraction < 1.0;
   }
 };
 
@@ -58,6 +59,22 @@ class InjectedError : public IoError {
 
  private:
   bool permanent_;
+};
+
+/// Raised by an armed crash site: the rank/task hosting the site dies on
+/// the spot. Deliberately NOT an IoError — retry loops and chunk-error
+/// capture must never swallow a death; only a supervision layer that
+/// respawns the whole rank may catch it.
+class InjectedCrash : public RuntimeError {
+ public:
+  InjectedCrash(const std::string& what, std::string site, std::uint64_t index)
+      : RuntimeError(what), site_(std::move(site)), index_(index) {}
+  const std::string& site() const noexcept { return site_; }
+  std::uint64_t index() const noexcept { return index_; }
+
+ private:
+  std::string site_;
+  std::uint64_t index_;  ///< caller-supplied index (the CPI) at the crash
 };
 
 /// A seeded, per-site fault schedule. Thread-safe. Arm before installing;
@@ -95,11 +112,31 @@ class FaultPlan {
   void arm_partial_read(std::string site, double probability, double fraction,
                         std::uint64_t max_hits = 0);
 
+  /// Kill the site when the caller-supplied index equals `at_index` — rank
+  /// death at a chosen CPI/phase. Crash sites are indexed (inject_crash
+  /// passes the CPI), not occurrence-counted, so "kill rank 3 at CPI 2"
+  /// stays exact across respawns; each crash rule fires at most once, so a
+  /// respawned rank replaying the same CPI survives it.
+  void arm_crash(std::string site, std::uint64_t at_index);
+
+  /// With `probability`, bit-flip the payload served at the site before it
+  /// is delivered (a corrupted chunk). `max_hits` bounds the corruptions
+  /// injected (0 = unlimited).
+  void arm_corruption(std::string site, double probability,
+                      std::uint64_t max_hits = 0);
+
   // ------------------------------------------------------------ querying --
 
   /// Decision for the next occurrence at `site`. Counts the occurrence
   /// even when nothing is armed (the plan doubles as an I/O trace counter).
+  /// Crash rules are not consulted here (see should_crash).
   Decision next(std::string_view site);
+
+  /// True when a crash rule armed at `site` (or a dot-prefix of it) names
+  /// this `index` and has not fired yet. Marks the rule fired. Does not
+  /// advance any occurrence counter — crash sites are indexed by the
+  /// caller (the CPI), independent of the occurrence-hashed fault kinds.
+  bool should_crash(std::string_view site, std::uint64_t index);
 
   /// Occurrences recorded for this exact site string.
   std::uint64_t occurrences(std::string_view site) const;
@@ -108,9 +145,11 @@ class FaultPlan {
   std::uint64_t injected_delays() const { return delays_.load(); }
   std::uint64_t injected_errors() const { return errors_.load(); }
   std::uint64_t injected_partials() const { return partials_.load(); }
+  std::uint64_t injected_crashes() const { return crashes_.load(); }
+  std::uint64_t injected_corruptions() const { return corruptions_.load(); }
 
  private:
-  enum class Kind { kDelay, kTransient, kPermanent, kPartial };
+  enum class Kind { kDelay, kTransient, kPermanent, kPartial, kCrash, kCorrupt };
 
   struct Rule {
     std::string site;
@@ -120,6 +159,7 @@ class FaultPlan {
     double fraction = 1.0;
     std::uint64_t max_hits = 0;         // 0 = unlimited
     std::uint64_t first_occurrence = 0; // permanent rules only
+    std::uint64_t at_index = 0;         // crash rules only (the CPI)
     std::atomic<std::uint64_t> matched{0};
     std::atomic<std::uint64_t> hits{0};
   };
@@ -133,6 +173,8 @@ class FaultPlan {
   std::atomic<std::uint64_t> delays_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> partials_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
 };
 
 /// Install `plan` as the process-wide plan for this scope; restores the
@@ -159,5 +201,11 @@ Decision inject(std::string_view site);
 /// Delay-only variant for sites with no error-recovery story (pipeline
 /// stage boundaries): applies delays, ignores armed failures.
 void inject_delay_only(std::string_view site);
+
+/// Crash entry point: throws InjectedCrash when a crash is armed at `site`
+/// for `index` (the caller's CPI). Call only from code running under a
+/// supervision layer that respawns the dead rank — without one, a killed
+/// rank leaves its peers blocked forever.
+void inject_crash(std::string_view site, std::uint64_t index);
 
 }  // namespace pstap::fault

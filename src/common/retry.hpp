@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "obs/trace.hpp"
 
@@ -49,7 +50,29 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;  ///< backoff growth per attempt
   Seconds max_backoff = 100e-3;     ///< cap on a single backoff sleep
   Seconds attempt_timeout = 0;      ///< per-attempt wait bound (0 = none)
+  double backoff_jitter = 0;        ///< fraction of backoff randomized, [0,1]
+  std::uint64_t jitter_seed = 0;    ///< base seed for deterministic jitter
 };
+
+/// The backoff sleep before attempt `next_attempt`, with the policy's
+/// jitter applied. Jitter is *deterministic*: the draw is a pure function
+/// of (jitter_seed, what, next_attempt) via common/rng.hpp SplitMix64, so a
+/// chaos run replays byte-identically from one seed regardless of thread
+/// interleaving. A jitter fraction j maps backoff b to [(1-j)b, b).
+inline Seconds jittered_backoff(const RetryPolicy& policy,
+                                std::string_view what, int next_attempt,
+                                Seconds backoff) {
+  if (policy.backoff_jitter <= 0) return backoff;
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the call site name
+  for (char c : what) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  Rng rng(policy.jitter_seed ^ h ^
+          (static_cast<std::uint64_t>(next_attempt) * 0x9e3779b97f4a7c15ULL));
+  const double jitter = std::min(1.0, policy.backoff_jitter);
+  return backoff * (1.0 - jitter * rng.uniform());
+}
 
 /// True for errors that retrying cannot fix (a permanently failed server).
 inline bool is_permanent(const std::exception& e) {
@@ -74,7 +97,8 @@ auto with_retry(const RetryPolicy& policy, const std::string& what,
       }
     }
     note_io_retry(what, attempt + 1);
-    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    const Seconds sleep = jittered_backoff(policy, what, attempt + 1, backoff);
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
     backoff = std::min(policy.max_backoff, backoff * policy.backoff_multiplier);
   }
 }

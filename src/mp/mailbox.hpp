@@ -7,9 +7,19 @@
 #include <mutex>
 #include <optional>
 
+#include "common/error.hpp"
 #include "mp/message.hpp"
 
 namespace pstap::mp {
+
+/// Raised by blocking receives/probes on a closed mailbox. A distinct type
+/// (not a timeout, not an IoError) so supervisor teardown is unambiguous:
+/// ranks parked in recv during an abort unwind with this instead of
+/// hanging, and no retry layer mistakes it for a transient I/O failure.
+class MailboxClosed : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
 
 /// One mailbox per world rank. Senders push envelopes; the owning rank
 /// removes the first envelope matching (context, source-or-any, tag-or-any).
@@ -26,11 +36,14 @@ class Mailbox {
     cv_.notify_all();
   }
 
-  /// Block until a matching envelope is available and remove it.
+  /// Block until a matching envelope is available and remove it. Throws
+  /// MailboxClosed if the mailbox is (or becomes) closed and nothing
+  /// matches — queued envelopes still drain after close().
   Envelope pop_matching(std::uint64_t context, int source, int tag) {
     std::unique_lock lock(mu_);
     for (;;) {
       if (auto env = try_take(context, source, tag)) return std::move(*env);
+      if (closed_) throw MailboxClosed("mailbox closed while receiving");
       cv_.wait(lock);
     }
   }
@@ -49,13 +62,38 @@ class Mailbox {
   }
 
   /// Blocking probe: wait until a matching envelope arrives; returns its
-  /// payload size without removing it.
+  /// payload size without removing it. Throws MailboxClosed like
+  /// pop_matching when closed with no match available.
   std::size_t probe_wait(std::uint64_t context, int source, int tag) {
     std::unique_lock lock(mu_);
     for (;;) {
       if (auto n = probe_locked(context, source, tag)) return *n;
+      if (closed_) throw MailboxClosed("mailbox closed while probing");
       cv_.wait(lock);
     }
+  }
+
+  /// Close the mailbox: every receiver blocked in pop_matching/probe_wait
+  /// wakes and throws MailboxClosed (after draining any envelope that
+  /// already matches). Pushes remain accepted and are silently retained —
+  /// a sender racing a shutdown must not crash.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Reverse close(); subsequent blocking receives behave normally again.
+  void reopen() {
+    std::lock_guard lock(mu_);
+    closed_ = false;
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
   }
 
   /// Number of queued envelopes (all contexts); used by tests/diagnostics.
@@ -92,6 +130,7 @@ class Mailbox {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Envelope> queue_;
+  bool closed_ = false;
 };
 
 }  // namespace pstap::mp

@@ -19,6 +19,22 @@ Mailbox& World::mailbox(int world_rank) {
   return *mailboxes_[static_cast<std::size_t>(world_rank)];
 }
 
+Comm World::make_comm(int world_rank) {
+  PSTAP_REQUIRE(world_rank >= 0 && world_rank < size(), "world rank out of range");
+  const int n = size();
+  std::vector<int> identity(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
+  return Comm(this, std::move(identity), world_rank, /*context=*/0);
+}
+
+void World::close_all_mailboxes() {
+  for (auto& mailbox : mailboxes_) mailbox->close();
+}
+
+void World::reopen_all_mailboxes() {
+  for (auto& mailbox : mailboxes_) mailbox->reopen();
+}
+
 void World::run(const std::function<void(Comm&)>& fn) {
   const int n = size();
   std::vector<int> identity(static_cast<std::size_t>(n));

@@ -37,6 +37,19 @@ class World {
   /// Mailbox of a world rank (used by Comm).
   Mailbox& mailbox(int world_rank);
 
+  /// Construct a world-spanning Comm (context 0) for `world_rank` without
+  /// going through run() — the supervisor uses this to hand a respawned
+  /// rank a communicator equivalent to the one its predecessor held.
+  Comm make_comm(int world_rank);
+
+  /// Close every mailbox: all ranks blocked in recv/probe across the world
+  /// wake with MailboxClosed. The supervisor's abort path — turns a
+  /// would-be hang into a clean world-wide unwind.
+  void close_all_mailboxes();
+
+  /// Reopen every mailbox (e.g. between runs in one World).
+  void reopen_all_mailboxes();
+
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };

@@ -40,6 +40,15 @@ struct PfsConfig {
 
   /// Fixed per-chunk service latency in seconds (request setup + seek).
   double server_latency = 0.0;
+
+  /// Copies kept of each stripe unit. 1 = no replication; 2 adds one
+  /// replica of unit u in stripe directory (u % F + 1) % F, used to serve
+  /// reads when the primary directory is quarantined.
+  std::size_t replicas = 1;
+
+  /// Circuit breaker: consecutive chunk failures on one stripe directory
+  /// before it is quarantined (0 disables the breaker).
+  std::size_t quarantine_threshold = 0;
 };
 
 /// Paragon-PFS-like presets used throughout tests and benches.

@@ -2,10 +2,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 
+#include "common/crc32c.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/wall_clock.hpp"
@@ -13,11 +15,16 @@
 
 namespace pstap::pfs {
 
-IoEngine::IoEngine(std::size_t servers, double bandwidth, double latency)
-    : bandwidth_(bandwidth), latency_(latency) {
+IoEngine::IoEngine(std::size_t servers, double bandwidth, double latency,
+                   std::size_t quarantine_threshold)
+    : bandwidth_(bandwidth),
+      latency_(latency),
+      quarantine_threshold_(quarantine_threshold) {
   PSTAP_REQUIRE(servers >= 1, "IoEngine needs at least one server");
   queues_.reserve(servers);
+  breakers_.reserve(servers);
   for (std::size_t s = 0; s < servers; ++s) queues_.push_back(std::make_unique<Queue>());
+  for (std::size_t s = 0; s < servers; ++s) breakers_.push_back(std::make_unique<Breaker>());
   read_sites_.reserve(servers);
   write_sites_.reserve(servers);
   depth_names_.reserve(servers);
@@ -96,7 +103,9 @@ void IoEngine::service_loop(std::size_t server) {
       // Fault injection: armed delays sleep here (inside the service
       // thread, so they occupy this stripe directory exactly like a slow
       // disk); armed errors throw and are captured as the chunk's error; a
-      // partial-read decision truncates the transfer and then fails it.
+      // partial-read decision truncates the transfer and then fails it; a
+      // corruption decision bit-flips the payload — caught below when the
+      // unit has a recorded checksum.
       const fault::Decision decision =
           fault::inject(job.is_write ? write_sites_[server] : read_sites_[server]);
       std::size_t effective_len = job.len;
@@ -104,20 +113,80 @@ void IoEngine::service_loop(std::size_t server) {
         effective_len =
             static_cast<std::size_t>(static_cast<double>(job.len) * decision.deliver_fraction);
       }
-      std::size_t moved = 0;
-      while (moved < effective_len) {
-        const ssize_t n =
-            job.is_write
-                ? ::pwrite(job.fd, job.buf + moved, effective_len - moved,
-                           static_cast<off_t>(job.offset + moved))
-                : ::pread(job.fd, job.buf + moved, effective_len - moved,
-                          static_cast<off_t>(job.offset + moved));
-        if (n < 0) {
-          if (errno == EINTR) continue;
-          PSTAP_IO_FAIL(job.is_write ? "pwrite failed" : "pread failed", errno);
+
+      // Raw positioned transfer of `len` bytes at segment offset `offset`.
+      const auto transfer = [&job](std::byte* buf, std::uint64_t offset,
+                                   std::size_t len, bool is_write) {
+        std::size_t moved = 0;
+        while (moved < len) {
+          const ssize_t n =
+              is_write ? ::pwrite(job.fd, buf + moved, len - moved,
+                                  static_cast<off_t>(offset + moved))
+                       : ::pread(job.fd, buf + moved, len - moved,
+                                 static_cast<off_t>(offset + moved));
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            PSTAP_IO_FAIL(is_write ? "pwrite failed" : "pread failed", errno);
+          }
+          if (n == 0) PSTAP_IO_FAIL("unexpected EOF inside a striped segment", 0);
+          moved += static_cast<std::size_t>(n);
         }
-        if (n == 0) PSTAP_IO_FAIL("unexpected EOF inside a striped segment", 0);
-        moved += static_cast<std::size_t>(n);
+      };
+
+      const std::uint64_t in_unit = job.offset - job.unit_seg_offset;
+      std::optional<ChecksumCatalog::Entry> entry;
+      if (job.checksums != nullptr) {
+        entry = job.checksums->lookup(job.file_id, job.unit_index);
+      }
+
+      if (!job.is_write && entry && effective_len == job.len &&
+          in_unit + job.len <= entry->valid_len) {
+        // Verified read: serve the unit's whole checksummed prefix into a
+        // scratch buffer, check it end-to-end against the CRC recorded at
+        // write time, then hand only the requested sub-range over — a
+        // corrupted payload never lands in the consumer's buffer.
+        std::vector<std::byte> scratch(entry->valid_len);
+        transfer(scratch.data(), job.unit_seg_offset, scratch.size(),
+                 /*is_write=*/false);
+        if (decision.corrupt && job.len > 0) {
+          scratch[in_unit + job.len / 2] ^= std::byte{0xFF};
+        }
+        if (crc32c(scratch.data(), scratch.size()) != entry->crc) {
+          corrupt_chunks_.fetch_add(1, std::memory_order_relaxed);
+          if (obs::trace_enabled()) {
+            obs::TraceRecorder::global().instant(
+                "io", "io.checksum_mismatch",
+                obs::kIoServerPidBase + static_cast<std::int32_t>(server), -1,
+                read_sites_[server]);
+          }
+          throw ChecksumError("checksum mismatch in unit " +
+                              std::to_string(job.unit_index) + " served by " +
+                              read_sites_[server]);
+        }
+        std::copy_n(scratch.data() + in_unit, job.len, job.buf);
+      } else {
+        transfer(job.buf, job.offset, effective_len, job.is_write);
+        if (!job.is_write && decision.corrupt && job.len > 0) {
+          // No checksum recorded for this unit: the flip is silent, which
+          // is exactly the exposure the catalog exists to close.
+          job.buf[job.len / 2] ^= std::byte{0xFF};
+        }
+        if (job.is_write && job.checksums != nullptr) {
+          if (in_unit == 0) {
+            job.checksums->store(job.file_id, job.unit_index,
+                                 {crc32c(job.buf, job.len), job.len});
+          } else {
+            // A rewrite not aligned to the unit start leaves the recorded
+            // CRC stale — drop it rather than verify against garbage.
+            job.checksums->invalidate(job.file_id, job.unit_index);
+          }
+          if (decision.corrupt && job.len > 0) {
+            // Persistent media corruption: flip one byte on disk *after*
+            // recording the intent CRC, so the next read detects it.
+            std::byte flipped = job.buf[job.len / 2] ^ std::byte{0xFF};
+            transfer(&flipped, job.offset + job.len / 2, 1, /*is_write=*/true);
+          }
+        }
       }
       if (effective_len < job.len) {
         throw fault::InjectedError("injected partial read: served " +
@@ -129,6 +198,7 @@ void IoEngine::service_loop(std::size_t server) {
     } catch (...) {
       error = std::current_exception();
     }
+    note_outcome(server, error != nullptr);
 
     // Model the finite service rate of a real I/O server: if the local disk
     // finished faster than the modeled transfer, sleep out the remainder.
@@ -154,6 +224,25 @@ void IoEngine::service_loop(std::size_t server) {
     }
 
     job.state->complete_one(error);
+  }
+}
+
+void IoEngine::note_outcome(std::size_t server, bool failed) {
+  Breaker& breaker = *breakers_[server];
+  if (!failed) {
+    breaker.consecutive_failures.store(0, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t failures =
+      breaker.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (quarantine_threshold_ == 0 || failures < quarantine_threshold_) return;
+  if (breaker.quarantined.exchange(true, std::memory_order_relaxed)) return;
+  quarantined_count_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::global().instant(
+        "io", "io.quarantine",
+        obs::kIoServerPidBase + static_cast<std::int32_t>(server), -1,
+        read_sites_[server]);
   }
 }
 

@@ -11,12 +11,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/retry.hpp"
@@ -24,6 +28,62 @@
 #include "obs/metrics.hpp"
 
 namespace pstap::pfs {
+
+/// Raised when a serviced chunk fails CRC32C verification. Derives IoError
+/// (and is not permanent), so retry layers re-read the chunk — corruption
+/// is caught at the source and never reaches a consumer's buffer as data.
+class ChecksumError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Per-stripe-unit CRC32C catalog: the write path records the checksum of
+/// each fully written stripe unit; the read path verifies served bytes
+/// against it. Keyed by (file id, unit index) so recreated files can
+/// orphan stale entries by taking a fresh id. Thread-safe (service threads
+/// of all stripe directories share one catalog).
+class ChecksumCatalog {
+ public:
+  struct Entry {
+    std::uint32_t crc = 0;
+    std::size_t valid_len = 0;  ///< checksummed prefix of the unit, bytes
+  };
+
+  void store(std::uint64_t file_id, std::uint64_t unit, Entry entry) {
+    std::lock_guard lock(mu_);
+    entries_[{file_id, unit}] = entry;
+  }
+
+  std::optional<Entry> lookup(std::uint64_t file_id, std::uint64_t unit) const {
+    std::lock_guard lock(mu_);
+    const auto it = entries_.find({file_id, unit});
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Forget a unit (a rewrite not aligned to the unit start makes the
+  /// recorded checksum stale — safety over coverage).
+  void invalidate(std::uint64_t file_id, std::uint64_t unit) {
+    std::lock_guard lock(mu_);
+    entries_.erase({file_id, unit});
+  }
+
+  /// Forget every unit of a file (remove/recreate).
+  void drop_file(std::uint64_t file_id) {
+    std::lock_guard lock(mu_);
+    auto it = entries_.lower_bound({file_id, 0});
+    while (it != entries_.end() && it->first.first == file_id) it = entries_.erase(it);
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Entry> entries_;
+};
 
 namespace detail {
 /// Completion state shared between an IoRequest and its queued chunks.
@@ -115,7 +175,11 @@ inline void wait_with_timeout(IoRequest& req, Seconds timeout,
 class IoEngine {
  public:
   /// One job: transfer `len` bytes between file descriptor `fd` at segment
-  /// offset `offset` and memory `buf`.
+  /// offset `offset` and memory `buf`. The integrity fields are optional:
+  /// when `checksums` is set the job lies within stripe unit `unit_index`
+  /// of file `file_id`, whose data starts at segment offset
+  /// `unit_seg_offset` — writes record the unit's CRC32C there, reads
+  /// verify against it.
   struct Job {
     int fd = -1;
     std::uint64_t offset = 0;
@@ -123,11 +187,18 @@ class IoEngine {
     std::size_t len = 0;
     bool is_write = false;
     std::shared_ptr<detail::RequestState> state;
+    ChecksumCatalog* checksums = nullptr;
+    std::uint64_t file_id = 0;
+    std::uint64_t unit_index = 0;
+    std::uint64_t unit_seg_offset = 0;
   };
 
   /// `servers` threads; each services its queue at `bandwidth` bytes/s
   /// (0 = unthrottled) plus `latency` seconds fixed cost per chunk.
-  IoEngine(std::size_t servers, double bandwidth, double latency);
+  /// `quarantine_threshold` > 0 arms the circuit breaker: that many
+  /// *consecutive* chunk failures quarantine the stripe directory.
+  IoEngine(std::size_t servers, double bandwidth, double latency,
+           std::size_t quarantine_threshold = 0);
   ~IoEngine();
 
   IoEngine(const IoEngine&) = delete;
@@ -143,6 +214,23 @@ class IoEngine {
 
   /// Total bytes serviced so far (reads + writes), for tests/benches.
   std::uint64_t bytes_serviced() const;
+
+  /// Chunks whose served bytes failed CRC32C verification (each raised a
+  /// retryable ChecksumError toward the requester).
+  std::uint64_t corrupt_chunks() const {
+    return corrupt_chunks_.load(std::memory_order_relaxed);
+  }
+
+  /// Stripe directories quarantined by the circuit breaker since mount.
+  std::uint64_t quarantined_servers() const {
+    return quarantined_count_.load(std::memory_order_relaxed);
+  }
+
+  /// True when `server`'s circuit breaker has opened — clients holding a
+  /// replica should redirect reads away from it.
+  bool quarantined(std::size_t server) const {
+    return breakers_[server]->quarantined.load(std::memory_order_relaxed);
+  }
 
   // ------------------------------------------------------- observability --
   // Per-engine distributions (reset-free: an engine lives for one mount).
@@ -168,13 +256,24 @@ class IoEngine {
     bool stop = false;
   };
 
+  /// Per-server circuit breaker: consecutive chunk failures trip it open.
+  struct Breaker {
+    std::atomic<std::size_t> consecutive_failures{0};
+    std::atomic<bool> quarantined{false};
+  };
+
   void service_loop(std::size_t server);
+  void note_outcome(std::size_t server, bool failed);
 
   double bandwidth_;
   double latency_;
+  std::size_t quarantine_threshold_;
   std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<Breaker>> breakers_;
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> bytes_serviced_{0};
+  std::atomic<std::uint64_t> corrupt_chunks_{0};
+  std::atomic<std::uint64_t> quarantined_count_{0};
   obs::Histogram queue_depth_;
   obs::Histogram service_time_;
   obs::Histogram submit_latency_;

@@ -76,17 +76,21 @@ class StripedFile {
 
  private:
   friend class StripedFileSystem;
-  StripedFile(StripedFileSystem* fs, std::string name, std::vector<int> segment_fds);
+  StripedFile(StripedFileSystem* fs, std::string name, std::uint64_t file_id,
+              std::vector<int> segment_fds, std::vector<int> replica_fds);
 
   /// Split [offset, offset+len) into per-stripe-unit jobs and submit them.
   IoRequest submit(std::uint64_t offset, std::byte* buf, std::size_t len, bool is_write);
   std::size_t count_chunks(std::uint64_t offset, std::size_t len) const;
   void submit_jobs(std::uint64_t offset, std::byte* buf, std::size_t len, bool is_write,
                    const std::shared_ptr<detail::RequestState>& state);
+  bool replicated() const noexcept { return !replica_fds_.empty(); }
 
   StripedFileSystem* fs_ = nullptr;
   std::string name_;
+  std::uint64_t file_id_ = 0;
   std::vector<int> segment_fds_;  // one per stripe directory
+  std::vector<int> replica_fds_;  // indexed by PRIMARY directory; may be empty
 };
 
 }  // namespace pstap::pfs

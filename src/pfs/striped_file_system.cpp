@@ -36,6 +36,10 @@ StripedFileSystem::StripedFileSystem(fs::path root, PfsConfig config)
     : root_(std::move(root)), config_(std::move(config)) {
   PSTAP_REQUIRE(config_.stripe_factor >= 1, "stripe factor must be >= 1");
   PSTAP_REQUIRE(config_.stripe_unit >= 1, "stripe unit must be >= 1 byte");
+  PSTAP_REQUIRE(config_.replicas >= 1 && config_.replicas <= 2,
+                "pfs supports 1 (none) or 2 (one replica) copies per unit");
+  PSTAP_REQUIRE(config_.replicas == 1 || config_.stripe_factor >= 2,
+                "replication needs at least two stripe directories");
   std::error_code ec;
   fs::create_directories(root_, ec);
   if (ec) PSTAP_IO_FAIL("cannot create pfs root " + root_.string(), ec.value());
@@ -69,7 +73,8 @@ StripedFileSystem::StripedFileSystem(fs::path root, PfsConfig config)
     if (ec) PSTAP_IO_FAIL("cannot create stripe directory", ec.value());
   }
   engine_ = std::make_unique<IoEngine>(config_.stripe_factor, config_.server_bandwidth,
-                                       config_.server_latency);
+                                       config_.server_latency,
+                                       config_.quarantine_threshold);
   // Recover the catalog from persisted metadata.
   for (const auto& entry : fs::directory_iterator(root_)) {
     if (!entry.is_regular_file() || entry.path().extension() != ".meta") continue;
@@ -93,8 +98,23 @@ fs::path StripedFileSystem::segment_path(const std::string& name, std::size_t di
   return root_ / d / (name + ".seg");
 }
 
+fs::path StripedFileSystem::replica_path(const std::string& name, std::size_t dir) const {
+  // Replica of the units whose primary is `dir` lives one directory over,
+  // so losing a single stripe directory never loses both copies of a unit.
+  char d[16];
+  std::snprintf(d, sizeof d, "sd%03zu", (dir + 1) % config_.stripe_factor);
+  return root_ / d / (name + ".r1.seg");
+}
+
 fs::path StripedFileSystem::meta_path(const std::string& name) const {
   return root_ / (name + ".meta");
+}
+
+std::uint64_t StripedFileSystem::file_id(const std::string& name, bool fresh) {
+  std::lock_guard lock(mu_);
+  auto it = file_ids_.find(name);
+  if (it != file_ids_.end() && !fresh) return it->second;
+  return file_ids_[name] = next_file_id_++;
 }
 
 bool StripedFileSystem::exists(const std::string& name) const {
@@ -141,17 +161,25 @@ StripedFile StripedFileSystem::open(const std::string& name) {
     std::lock_guard lock(mu_);
     PSTAP_REQUIRE(catalog_.contains(name), "file does not exist: " + name);
   }
-  std::vector<int> fds;
-  fds.reserve(config_.stripe_factor);
-  for (std::size_t d = 0; d < config_.stripe_factor; ++d) {
-    const int fd = ::open(segment_path(name, d).c_str(), O_RDWR | O_CREAT, 0644);
-    if (fd < 0) {
-      for (int f : fds) ::close(f);
-      PSTAP_IO_FAIL("cannot open segment of " + name, errno);
+  const auto open_all = [&](auto path_of, std::vector<int>& fds) {
+    fds.reserve(config_.stripe_factor);
+    for (std::size_t d = 0; d < config_.stripe_factor; ++d) {
+      const int fd = ::open(path_of(d).c_str(), O_RDWR | O_CREAT, 0644);
+      if (fd < 0) {
+        for (int f : fds) ::close(f);
+        PSTAP_IO_FAIL("cannot open segment of " + name, errno);
+      }
+      fds.push_back(fd);
     }
-    fds.push_back(fd);
+  };
+  std::vector<int> fds;
+  open_all([&](std::size_t d) { return segment_path(name, d); }, fds);
+  std::vector<int> replica_fds;
+  if (config_.replicas > 1) {
+    open_all([&](std::size_t d) { return replica_path(name, d); }, replica_fds);
   }
-  return StripedFile(this, name, std::move(fds));
+  return StripedFile(this, name, file_id(name, /*fresh=*/false), std::move(fds),
+                     std::move(replica_fds));
 }
 
 StripedFile StripedFileSystem::create(const std::string& name) {
@@ -167,7 +195,16 @@ StripedFile StripedFileSystem::create(const std::string& name) {
     const int fd = ::open(segment_path(name, d).c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) PSTAP_IO_FAIL("cannot create segment of " + name, errno);
     ::close(fd);
+    if (config_.replicas > 1) {
+      const int rfd =
+          ::open(replica_path(name, d).c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+      if (rfd < 0) PSTAP_IO_FAIL("cannot create replica segment of " + name, errno);
+      ::close(rfd);
+    }
   }
+  // Fresh id: checksums recorded for the overwritten incarnation (if any)
+  // are orphaned rather than matched against the new contents.
+  (void)file_id(name, /*fresh=*/true);
   return open(name);
 }
 
@@ -186,37 +223,52 @@ std::vector<std::byte> StripedFileSystem::read_file(const std::string& name) {
 
 void StripedFileSystem::remove(const std::string& name) {
   validate_name(name);
+  std::uint64_t id = 0;
   {
     std::lock_guard lock(mu_);
     PSTAP_REQUIRE(catalog_.erase(name) == 1, "file does not exist: " + name);
+    const auto it = file_ids_.find(name);
+    if (it != file_ids_.end()) {
+      id = it->second;
+      file_ids_.erase(it);
+    }
   }
+  if (id != 0) checksums_.drop_file(id);
   std::error_code ec;
   fs::remove(meta_path(name), ec);
   for (std::size_t d = 0; d < config_.stripe_factor; ++d) {
     fs::remove(segment_path(name, d), ec);
+    fs::remove(replica_path(name, d), ec);
   }
 }
 
 // ---------------------------------------------------------- StripedFile --
 
-StripedFile::StripedFile(StripedFileSystem* fs, std::string name,
-                         std::vector<int> segment_fds)
-    : fs_(fs), name_(std::move(name)), segment_fds_(std::move(segment_fds)) {}
+StripedFile::StripedFile(StripedFileSystem* fs, std::string name, std::uint64_t file_id,
+                         std::vector<int> segment_fds, std::vector<int> replica_fds)
+    : fs_(fs), name_(std::move(name)), file_id_(file_id),
+      segment_fds_(std::move(segment_fds)), replica_fds_(std::move(replica_fds)) {}
 
 StripedFile::StripedFile(StripedFile&& other) noexcept
-    : fs_(other.fs_), name_(std::move(other.name_)),
-      segment_fds_(std::move(other.segment_fds_)) {
+    : fs_(other.fs_), name_(std::move(other.name_)), file_id_(other.file_id_),
+      segment_fds_(std::move(other.segment_fds_)),
+      replica_fds_(std::move(other.replica_fds_)) {
   other.segment_fds_.clear();
+  other.replica_fds_.clear();
   other.fs_ = nullptr;
 }
 
 StripedFile& StripedFile::operator=(StripedFile&& other) noexcept {
   if (this != &other) {
     for (int fd : segment_fds_) ::close(fd);
+    for (int fd : replica_fds_) ::close(fd);
     fs_ = other.fs_;
     name_ = std::move(other.name_);
+    file_id_ = other.file_id_;
     segment_fds_ = std::move(other.segment_fds_);
+    replica_fds_ = std::move(other.replica_fds_);
     other.segment_fds_.clear();
+    other.replica_fds_.clear();
     other.fs_ = nullptr;
   }
   return *this;
@@ -224,6 +276,7 @@ StripedFile& StripedFile::operator=(StripedFile&& other) noexcept {
 
 StripedFile::~StripedFile() {
   for (int fd : segment_fds_) ::close(fd);
+  for (int fd : replica_fds_) ::close(fd);
 }
 
 std::uint64_t StripedFile::size() const { return fs_->catalog_size(name_); }
@@ -257,7 +310,26 @@ void StripedFile::submit_jobs(std::uint64_t offset, std::byte* buf, std::size_t 
     job.len = static_cast<std::size_t>(take);
     job.is_write = is_write;
     job.state = state;
-    fs_->engine().submit(dir, std::move(job));
+    job.checksums = &fs_->checksums_;
+    job.file_id = file_id_;
+    job.unit_index = unit_index;
+    job.unit_seg_offset = (unit_index / factor) * unit;
+    const std::size_t replica_dir = (dir + 1) % factor;
+    if (!is_write && replicated() && fs_->engine().quarantined(dir)) {
+      // Failover read: the primary directory's breaker is open, so serve
+      // this unit from its replica. The checksum catalog still applies —
+      // both copies carry identical unit contents.
+      job.fd = replica_fds_[dir];
+      fs_->engine().submit(replica_dir, std::move(job));
+    } else {
+      if (is_write && replicated()) {
+        IoEngine::Job mirror = job;
+        mirror.fd = replica_fds_[dir];
+        mirror.checksums = nullptr;  // the primary write records the CRC
+        fs_->engine().submit(replica_dir, std::move(mirror));
+      }
+      fs_->engine().submit(dir, std::move(job));
+    }
     pos += take;
   }
 }
@@ -268,7 +340,9 @@ IoRequest StripedFile::submit(std::uint64_t offset, std::byte* buf, std::size_t 
   // up front (a metadata/open-path failure), before any chunk is queued.
   const std::int64_t started_ns = obs::trace_now_ns();
   fault::inject((is_write ? "pfs.file.write." : "pfs.file.read.") + name_);
-  IoRequest req = fs_->engine().make_request(count_chunks(offset, len));
+  std::size_t chunks = count_chunks(offset, len);
+  if (is_write && replicated()) chunks *= 2;  // one mirror job per chunk
+  IoRequest req = fs_->engine().make_request(chunks);
   submit_jobs(offset, buf, len, is_write, req.state_);
   const std::int64_t dur_ns = obs::trace_now_ns() - started_ns;
   fs_->engine().record_submit_latency(static_cast<double>(dur_ns) * 1e-9);

@@ -64,6 +64,9 @@ class StripedFileSystem {
 
   IoEngine& engine() noexcept { return *engine_; }
 
+  /// Per-unit CRC32C catalog backing end-to-end read verification.
+  ChecksumCatalog& checksums() noexcept { return checksums_; }
+
   /// Total bytes moved through the I/O servers since mount.
   std::uint64_t bytes_serviced() const { return engine_->bytes_serviced(); }
 
@@ -71,8 +74,13 @@ class StripedFileSystem {
   friend class StripedFile;
 
   std::filesystem::path segment_path(const std::string& name, std::size_t dir) const;
+  std::filesystem::path replica_path(const std::string& name, std::size_t dir) const;
   std::filesystem::path meta_path(const std::string& name) const;
   void validate_name(const std::string& name) const;
+
+  /// Stable id of a logical file (assigned on first touch; create() issues
+  /// a fresh one so checksums of the overwritten incarnation are orphaned).
+  std::uint64_t file_id(const std::string& name, bool fresh);
 
   /// Catalog access (logical sizes), guarded by mu_.
   std::uint64_t catalog_size(const std::string& name) const;
@@ -81,9 +89,12 @@ class StripedFileSystem {
   std::filesystem::path root_;
   PfsConfig config_;
   std::unique_ptr<IoEngine> engine_;
+  ChecksumCatalog checksums_;
 
   mutable std::mutex mu_;
-  std::map<std::string, std::uint64_t> catalog_;  // name -> logical size
+  std::map<std::string, std::uint64_t> catalog_;   // name -> logical size
+  std::map<std::string, std::uint64_t> file_ids_;  // name -> stable id
+  std::uint64_t next_file_id_ = 1;
 };
 
 }  // namespace pstap::pfs

@@ -54,8 +54,25 @@ struct PipelineMetrics {
     std::uint64_t injected_delays = 0;  ///< from the run's fault plan
     std::uint64_t injected_errors = 0;
     std::uint64_t injected_partials = 0;
+    std::uint64_t injected_corruptions = 0;
+    std::uint64_t corrupt_chunks = 0;       ///< checksum mismatches caught
+    std::uint64_t quarantined_servers = 0;  ///< circuit-breaker trips
   };
   IoStats io;
+
+  /// Supervision-and-recovery counters for one run; all zero when the run
+  /// is unsupervised (functional runner only).
+  struct Recovery {
+    std::uint64_t injected_crashes = 0;   ///< from the run's fault plan
+    std::uint64_t crashes_detected = 0;   ///< deaths the monitor handled
+    std::uint64_t ranks_respawned = 0;
+    std::uint64_t io_failovers = 0;       ///< I/O-task ranks abandoned
+    std::uint64_t promoted_reads = 0;     ///< slab pieces Doppler self-read
+    std::uint64_t replayed_messages = 0;  ///< checkpoint-log replay hits
+    std::uint64_t checkpoint_peak_bytes = 0;
+    Seconds max_detection_delay = 0;  ///< worst death -> recovery-action gap
+  };
+  Recovery recovery;
 
   /// CPIs per second: 1 / max_i T_i (paper eq. 1/3).
   double throughput() const;

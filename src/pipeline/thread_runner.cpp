@@ -85,6 +85,8 @@ struct NodeCtx {
   int task = 0;
   int local = 0;
   SharedResults* results = nullptr;
+  Supervisor* sup = nullptr;           // non-null when supervised
+  ckpt::CheckpointRing* ring = nullptr;  // this rank's checkpoint ring
 
   const stap::RadarParams& params() const { return spec.params; }
   int nodes_of(TaskKind kind) const {
@@ -102,7 +104,38 @@ struct NodeCtx {
   void mark_dropped(int cpi) const {
     results->dropped[static_cast<std::size_t>(world.rank())].push_back(cpi);
   }
+
+  /// First CPI this incarnation executes: a respawned rank resumes past
+  /// its checkpoint watermark; the original spawn starts at 0.
+  int resume_cpi() const { return ring != nullptr ? ring->watermark() + 1 : 0; }
+
+  /// Called at the end of every CPI loop iteration: advances the
+  /// checkpoint watermark and evicts the CPI's logged messages.
+  void complete_cpi(int cpi) const {
+    if (ring != nullptr) ring->complete(cpi);
+  }
 };
+
+/// Checkpoint-aware receive: a replayed CPI gets the payload its dead
+/// predecessor consumed (byte-identical re-execution); a fresh receive is
+/// logged under the *consumption* CPI so eviction can never outrun a
+/// future replay (the temporal weights edge consumes CPI k-1's message at
+/// CPI k — it is logged under k).
+std::vector<std::byte> recv_logged(const NodeCtx& ctx, int log_cpi, int source,
+                                   int tag) {
+  std::vector<std::byte> bytes;
+  if (ctx.ring != nullptr && ctx.ring->replay_message(log_cpi, tag, source, bytes)) {
+    return bytes;
+  }
+  bytes = ctx.world.recv_bytes(source, tag);
+  if (ctx.ring != nullptr) ctx.ring->record_message(log_cpi, tag, source, bytes);
+  return bytes;
+}
+
+std::vector<cfloat> recv_logged_vector(const NodeCtx& ctx, int log_cpi,
+                                       int source, int tag) {
+  return mp::unpack_vector<cfloat>(recv_logged(ctx, log_cpi, source, tag));
+}
 
 /// Per-CPI phase timing accumulator. Each phase section runs under an
 /// obs::ScopedSpan, so one clock pair feeds the wall-clock sums, the phase
@@ -111,11 +144,26 @@ struct NodeCtx {
 /// (post-warmup) ones. An outer "cpi" span wraps each CPI's phases.
 class PhaseClock {
  public:
-  PhaseClock(const RunOptions& opt, Phase& out, std::string fault_site, int rank)
-      : opt_(opt), out_(out), fault_site_(std::move(fault_site)), rank_(rank) {}
+  PhaseClock(const RunOptions& opt, Phase& out, std::string fault_site, int rank,
+             Supervisor* sup = nullptr)
+      : opt_(opt),
+        out_(out),
+        fault_site_(std::move(fault_site)),
+        rank_(rank),
+        sup_(sup),
+        crash_site_("pipeline.rank." + std::to_string(rank)),
+        crash_site_send_(crash_site_ + ".send") {}
 
   void start_cpi(int cpi) {
     end_cpi_span();
+    if (sup_ != nullptr) {
+      sup_->beat(rank_);
+      // Crash sites live only here and at send start, so a dead rank's
+      // per-CPI sends are all-or-nothing — the invariant CPI replay
+      // depends on. Only evaluated under supervision: an unsupervised
+      // crash would wedge every peer.
+      fault::inject_crash(crash_site_, static_cast<std::uint64_t>(cpi));
+    }
     // Stage-boundary injection site: armed delays stall this node exactly
     // where a real hiccup (page fault, scheduler preemption) would land.
     // Delay-only — stage boundaries have no retry/degradation story.
@@ -138,7 +186,12 @@ class PhaseClock {
   template <typename F>
   void comp(F&& f) { timed_section("compute", comp_, out_.comp_hist, std::forward<F>(f)); }
   template <typename F>
-  void send(F&& f) { timed_section("send", send_, out_.send_hist, std::forward<F>(f)); }
+  void send(F&& f) {
+    if (sup_ != nullptr) {
+      fault::inject_crash(crash_site_send_, static_cast<std::uint64_t>(cpi_));
+    }
+    timed_section("send", send_, out_.send_hist, std::forward<F>(f));
+  }
 
  private:
   template <typename F>
@@ -164,6 +217,8 @@ class PhaseClock {
   Phase& out_;
   std::string fault_site_;
   int rank_;
+  Supervisor* sup_ = nullptr;
+  std::string crash_site_, crash_site_send_;
   bool timed_ = false;
   int cpi_ = -1;
   std::int64_t cpi_start_ns_ = -1;
@@ -313,8 +368,9 @@ void run_read_node(NodeCtx& ctx, PhaseClock& clock) {
   // Async-capable systems prefetch the next CPI so the read overlaps the
   // send phase; synchronous-only systems (PIOFS) pay the full read inside
   // the receive phase — the contrast the paper studies.
-  if (reader.async_capable()) reader.start(0);
-  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+  const int cpi0 = ctx.resume_cpi();
+  if (reader.async_capable()) reader.start(cpi0);
+  for (int cpi = cpi0; cpi < ctx.opt.cpis; ++cpi) {
     clock.start_cpi(cpi);
     std::span<const cfloat> raw;
     clock.recv([&] {
@@ -334,6 +390,7 @@ void run_read_node(NodeCtx& ctx, PhaseClock& clock) {
         ctx.world.send<cfloat>(ctx.rank_of(TaskKind::kDoppler, d), kTagRaw, piece);
       }
     });
+    ctx.complete_cpi(cpi);
   }
 }
 
@@ -375,8 +432,7 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
           ctx.fs.open(stap::round_robin_name(f, ctx.opt.round_robin_files)));
     }
   } else if (embedded) {
-    reader.emplace(ctx, r_lo, r_hi);
-    if (reader->async_capable()) reader->start(0);
+    reader.emplace(ctx, r_lo, r_hi);  // first start() issued before the loop
   } else {
     raw_recv.resize((r_hi - r_lo) * p.pulses * p.channels);
   }
@@ -384,8 +440,76 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
   const BlockPartition part_read(p.ranges, std::max<std::size_t>(1, reads));
   const std::size_t per_range = p.pulses * p.channels;
 
+  // I/O-task failover: once the supervisor abandons a crashed read rank,
+  // this Doppler node promotes to embedded I/O for that rank's slab pieces
+  // — opened lazily, since most runs never need them.
+  std::vector<pfs::StripedFile> failover_files;
+  auto self_read = [&](int cpi, std::size_t lo, std::size_t hi,
+                       std::span<cfloat> piece) {
+    if (failover_files.empty()) {
+      for (std::size_t f = 0; f < ctx.opt.round_robin_files; ++f) {
+        failover_files.push_back(
+            ctx.fs.open(stap::round_robin_name(f, ctx.opt.round_robin_files)));
+      }
+    }
+    auto& file = failover_files[static_cast<std::size_t>(cpi) % failover_files.size()];
+    const std::string what = "failover read of cpi " + std::to_string(cpi);
+    try {
+      with_retry(ctx.opt.io_retry, what, [&] {
+        // Separate-I/O mode requires range-major files, so rows [lo, hi)
+        // are exactly the contiguous piece the dead rank would have sent.
+        auto req = stap::start_read_cpi_slab(file, p, lo, hi, piece,
+                                             ctx.opt.file_layout);
+        pfs::wait_with_timeout(req, ctx.opt.io_retry.attempt_timeout, what);
+      });
+    } catch (const IoError&) {
+      // Same degradation contract as SlabReader: zero-fill and drop the
+      // CPI rather than wedging the pipeline.
+      std::fill(piece.begin(), piece.end(), cfloat{});
+      ctx.mark_dropped(cpi);
+    }
+    ctx.sup->note_promoted_read();
+  };
+
+  // Receive one raw slab piece from read rank `src`, surviving its death:
+  // replay from the checkpoint first; otherwise poll the mailbox against
+  // the supervisor's failover flag. All of a dead rank's sends are visible
+  // before failed() turns true, so the probe-after-failed re-check cannot
+  // strand a delivered message (which FIFO would hand to the wrong CPI).
+  auto recv_piece = [&](int cpi, int src, std::size_t lo, std::size_t hi,
+                        std::span<cfloat> piece) {
+    if (ctx.sup == nullptr) {
+      ctx.world.recv<cfloat>(src, kTagRaw, piece);
+      return;
+    }
+    std::vector<std::byte> bytes;
+    if (ctx.ring->replay_message(cpi, kTagRaw, src, bytes)) {
+      mp::unpack<cfloat>(bytes, piece);
+      return;
+    }
+    for (;;) {
+      if (ctx.world.probe(src, kTagRaw)) {
+        bytes = ctx.world.recv_bytes(src, kTagRaw);
+        mp::unpack<cfloat>(bytes, piece);
+        break;
+      }
+      if (ctx.sup->failed(src) && !ctx.world.probe(src, kTagRaw)) {
+        self_read(cpi, lo, hi, piece);
+        bytes = mp::pack(std::span<const cfloat>(piece));
+        break;
+      }
+      if (ctx.sup->aborted()) throw mp::MailboxClosed("supervised run aborting");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Log under the consumption CPI either way: a replay of this CPI must
+    // see the same bytes whether they came off the wire or the disk.
+    ctx.ring->record_message(cpi, kTagRaw, src, bytes);
+  };
+
   std::vector<cfloat> pack_buf;
-  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+  const int cpi0 = ctx.resume_cpi();
+  if (reader && reader->async_capable()) reader->start(cpi0);
+  for (int cpi = cpi0; cpi < ctx.opt.cpis; ++cpi) {
     clock.start_cpi(cpi);
     stap::DataCube cube;
     if (collective) {
@@ -417,8 +541,7 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
           if (lo >= hi) continue;
           auto piece = std::span<cfloat>(raw_recv)
                            .subspan((lo - r_lo) * per_range, (hi - lo) * per_range);
-          ctx.world.recv<cfloat>(ctx.rank_of(TaskKind::kParallelRead, s), kTagRaw,
-                                 piece);
+          recv_piece(cpi, ctx.rank_of(TaskKind::kParallelRead, s), lo, hi, piece);
         }
         cube = stap::unpack_slab(p, r_lo, r_hi, raw_recv);
       });
@@ -450,6 +573,7 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
       ship(out.hard, part_wh, TaskKind::kWeightsHard, n_wh, kTagTrainHard,
            p.training_ranges);
     });
+    ctx.complete_cpi(cpi);
   }
 }
 
@@ -477,17 +601,20 @@ void run_weights_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
   stap::WeightComputer wc(p, my_ids, dof, ctx.opt.weight_solver);
   stap::BinArray training(my_ids.size(), dof, p.training_ranges);
 
-  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+  for (int cpi = ctx.resume_cpi(); cpi < ctx.opt.cpis; ++cpi) {
     clock.start_cpi(cpi);
-    if (my_ids.empty()) continue;  // more nodes than bins: idle node
+    if (my_ids.empty()) {  // more nodes than bins: idle node
+      ctx.complete_cpi(cpi);
+      continue;
+    }
     clock.recv([&] {
       for (int d = 0; d < dops; ++d) {
         const std::size_t r_lo = ranges.begin(static_cast<std::size_t>(d));
         const std::size_t r_hi =
             std::min(ranges.end(static_cast<std::size_t>(d)), p.training_ranges);
         if (r_lo >= r_hi) continue;
-        const auto msg = ctx.world.recv_vector<cfloat>(
-            ctx.rank_of(TaskKind::kDoppler, d), train_tag);
+        const auto msg = recv_logged_vector(
+            ctx, cpi, ctx.rank_of(TaskKind::kDoppler, d), train_tag);
         unpack_bin_slab(training, r_lo, r_hi, msg);
       }
     });
@@ -513,6 +640,7 @@ void run_weights_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
         ctx.world.send<cfloat>(ctx.rank_of(bf_kind, n), weight_tag, buf);
       }
     });
+    ctx.complete_cpi(cpi);
   }
 }
 
@@ -545,32 +673,41 @@ void run_beamform_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
 
   stap::Beamformer bf(p);
   stap::WeightComputer wc(p, my_ids, dof);  // steering oracle for CPI 0
+  // Beamform is the pipeline's only cross-CPI-stateful node, but the state
+  // (`current`) is fully overwritten by the weight messages consumed each
+  // CPI >= 1 — so a respawn rebuilds it from the replayed messages alone
+  // and needs no separate snapshot.
   stap::WeightSet current =
       my_ids.empty() ? stap::WeightSet{} : default_weights(wc, my_ids, p, dof);
   stap::BinArray spectra(my_ids.size(), dof, p.ranges);
 
-  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+  for (int cpi = ctx.resume_cpi(); cpi < ctx.opt.cpis; ++cpi) {
     clock.start_cpi(cpi);
-    if (my_ids.empty()) continue;
+    if (my_ids.empty()) {
+      ctx.complete_cpi(cpi);
+      continue;
+    }
     clock.recv([&] {
       // Spectra of the current CPI from every Doppler node.
       for (int d = 0; d < dops; ++d) {
         const std::size_t r_lo = ranges.begin(static_cast<std::size_t>(d));
         const std::size_t r_hi = ranges.end(static_cast<std::size_t>(d));
         if (r_lo >= r_hi) continue;
-        const auto msg =
-            ctx.world.recv_vector<cfloat>(ctx.rank_of(TaskKind::kDoppler, d), spec_tag);
+        const auto msg = recv_logged_vector(
+            ctx, cpi, ctx.rank_of(TaskKind::kDoppler, d), spec_tag);
         unpack_bin_slab(spectra, r_lo, r_hi, msg);
       }
-      // Weights computed from the previous CPI (none at cpi 0).
+      // Weights computed from the previous CPI (none at cpi 0). The
+      // temporal edge: the message was *sent* at cpi-1 but is logged under
+      // this consumption cpi, so eviction cannot outrun a replay.
       if (cpi >= 1) {
         for (int n = 0; n < n_wc; ++n) {
           const std::size_t lo =
               std::max(b_lo, wc_part.begin(static_cast<std::size_t>(n)));
           const std::size_t hi = std::min(b_hi, wc_part.end(static_cast<std::size_t>(n)));
           if (lo >= hi) continue;
-          const auto msg = ctx.world.recv_vector<cfloat>(ctx.rank_of(wc_kind, n),
-                                                         weight_tag);
+          const auto msg =
+              recv_logged_vector(ctx, cpi, ctx.rank_of(wc_kind, n), weight_tag);
           PSTAP_CHECK(msg.size() == (hi - lo) * p.beams * dof,
                       "weight message size mismatch");
           std::size_t idx = 0;
@@ -602,6 +739,7 @@ void run_beamform_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
         ctx.world.send<cfloat>(ctx.rank_of(pc_kind, n), beam_tag, buf);
       }
     });
+    ctx.complete_cpi(cpi);
   }
 }
 
@@ -629,7 +767,7 @@ RowPlan make_row_plan(const stap::RadarParams& p, const BlockPartition& part,
 
 /// Receive the (bins x beams x ranges) rows this node owns from the BF
 /// (or PC) senders that hold them.
-void receive_rows(NodeCtx& ctx, stap::BeamArray& rows, const RowPlan& plan,
+void receive_rows(NodeCtx& ctx, int cpi, stap::BeamArray& rows, const RowPlan& plan,
                   TaskKind sender_kind, int tag, bool sender_is_bf_easy,
                   bool sender_is_bf_hard) {
   const auto& p = ctx.params();
@@ -671,7 +809,7 @@ void receive_rows(NodeCtx& ctx, stap::BeamArray& rows, const RowPlan& plan,
     }
     if (from_this_sender.empty()) continue;
     const auto msg =
-        ctx.world.recv_vector<cfloat>(ctx.rank_of(sender_kind, s), tag);
+        recv_logged_vector(ctx, cpi, ctx.rank_of(sender_kind, s), tag);
     PSTAP_CHECK(msg.size() == from_this_sender.size() * p.beams * p.ranges,
                 "row message size mismatch");
     std::size_t idx = 0;
@@ -696,12 +834,17 @@ void run_pc_node(NodeCtx& ctx, PhaseClock& clock) {
   stap::PulseCompressor pc(p);
   stap::BeamArray rows(plan.bins.size(), p.beams, p.ranges);
 
-  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+  for (int cpi = ctx.resume_cpi(); cpi < ctx.opt.cpis; ++cpi) {
     clock.start_cpi(cpi);
-    if (plan.bins.empty()) continue;
+    if (plan.bins.empty()) {
+      ctx.complete_cpi(cpi);
+      continue;
+    }
     clock.recv([&] {
-      receive_rows(ctx, rows, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true, false);
-      receive_rows(ctx, rows, plan, TaskKind::kBeamformHard, kTagBeamHard, false, true);
+      receive_rows(ctx, cpi, rows, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true,
+                   false);
+      receive_rows(ctx, cpi, rows, plan, TaskKind::kBeamformHard, kTagBeamHard, false,
+                   true);
     });
     clock.comp([&] { pc.compress(rows); });
     clock.send([&] {
@@ -718,6 +861,7 @@ void run_pc_node(NodeCtx& ctx, PhaseClock& clock) {
         ctx.world.send<cfloat>(ctx.rank_of(TaskKind::kCfar, n), kTagPcOut, buf);
       }
     });
+    ctx.complete_cpi(cpi);
   }
 }
 
@@ -731,19 +875,28 @@ void run_cfar_node(NodeCtx& ctx, PhaseClock& clock, int my_world_rank) {
   stap::BeamArray rows(plan.bins.size(), p.beams, p.ranges);
   auto& sink = ctx.results->detections[static_cast<std::size_t>(my_world_rank)];
 
-  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+  for (int cpi = ctx.resume_cpi(); cpi < ctx.opt.cpis; ++cpi) {
     clock.start_cpi(cpi);
-    if (plan.bins.empty()) continue;
+    if (plan.bins.empty()) {
+      ctx.complete_cpi(cpi);
+      continue;
+    }
     clock.recv([&] {
-      receive_rows(ctx, rows, plan, TaskKind::kPulseCompression, kTagPcOut, false,
+      receive_rows(ctx, cpi, rows, plan, TaskKind::kPulseCompression, kTagPcOut, false,
                    false);
     });
     clock.comp([&] {
       auto dets = cfar.detect(rows, plan.bins);
       for (auto& d : dets) d.cpi = static_cast<std::uint64_t>(cpi);
+      // Replay idempotence: a predecessor that died between comp and the
+      // send-start crash site already appended this CPI's detections.
+      std::erase_if(sink, [&](const stap::Detection& d) {
+        return d.cpi == static_cast<std::uint64_t>(cpi);
+      });
       sink.insert(sink.end(), dets.begin(), dets.end());
     });
     clock.send([] {});
+    ctx.complete_cpi(cpi);
   }
 }
 
@@ -758,20 +911,29 @@ void run_pccfar_node(NodeCtx& ctx, PhaseClock& clock, int my_world_rank) {
   stap::BeamArray rows(plan.bins.size(), p.beams, p.ranges);
   auto& sink = ctx.results->detections[static_cast<std::size_t>(my_world_rank)];
 
-  for (int cpi = 0; cpi < ctx.opt.cpis; ++cpi) {
+  for (int cpi = ctx.resume_cpi(); cpi < ctx.opt.cpis; ++cpi) {
     clock.start_cpi(cpi);
-    if (plan.bins.empty()) continue;
+    if (plan.bins.empty()) {
+      ctx.complete_cpi(cpi);
+      continue;
+    }
     clock.recv([&] {
-      receive_rows(ctx, rows, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true, false);
-      receive_rows(ctx, rows, plan, TaskKind::kBeamformHard, kTagBeamHard, false, true);
+      receive_rows(ctx, cpi, rows, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true,
+                   false);
+      receive_rows(ctx, cpi, rows, plan, TaskKind::kBeamformHard, kTagBeamHard, false,
+                   true);
     });
     clock.comp([&] {
       pc.compress(rows);
       auto dets = cfar.detect(rows, plan.bins);
       for (auto& d : dets) d.cpi = static_cast<std::uint64_t>(cpi);
+      std::erase_if(sink, [&](const stap::Detection& d) {
+        return d.cpi == static_cast<std::uint64_t>(cpi);
+      });
       sink.insert(sink.end(), dets.begin(), dets.end());
     });
     clock.send([] {});
+    ctx.complete_cpi(cpi);
   }
 }
 
@@ -794,6 +956,9 @@ ThreadRunner::ThreadRunner(PipelineSpec spec, RunOptions options)
                     (spec_.io == IoStrategy::kEmbedded &&
                      options_.file_layout == stap::FileLayout::kPulseMajor),
                 "collective I/O applies to embedded reads of pulse-major files");
+  PSTAP_REQUIRE(!options_.supervise.enabled || !options_.collective_io,
+                "supervised runs do not support collective I/O "
+                "(collectives have no checkpoint-replay path)");
 }
 
 RunResult ThreadRunner::run() {
@@ -835,14 +1000,33 @@ RunResult ThreadRunner::run() {
   results.dropped.resize(static_cast<std::size_t>(total));
 
   mp::World world(total);
-  world.run([&](mp::Comm& comm) {
+  std::optional<Supervisor> supervisor;
+  if (options_.supervise.enabled) {
+    supervisor.emplace(world, total, options_.supervise);
+    // The separate I/O task fails over (Doppler promotes to embedded
+    // reads); every other task respawns and replays.
+    const int read_task = spec_.find(TaskKind::kParallelRead);
+    if (read_task >= 0) {
+      std::vector<int> io_ranks;
+      for (int n = 0; n < spec_.tasks[static_cast<std::size_t>(read_task)].nodes; ++n) {
+        io_ranks.push_back(assign.world_rank(read_task, n));
+      }
+      supervisor->set_failover_ranks(io_ranks);
+    }
+  }
+
+  auto node_main = [&](mp::Comm& comm) {
     const auto [task, local] = assign.locate(comm.rank());
     NodeCtx ctx{spec_, options_, assign, comm, fs, task, local, &results};
+    if (supervisor) {
+      ctx.sup = &*supervisor;
+      ctx.ring = &supervisor->ring(comm.rank());
+    }
     PhaseClock clock(
         options_, results.avg_phase[static_cast<std::size_t>(comm.rank())],
         std::string("pipeline.stage.") +
             task_name(spec_.tasks[static_cast<std::size_t>(task)].kind),
-        comm.rank());
+        comm.rank(), ctx.sup);
     switch (spec_.tasks[static_cast<std::size_t>(task)].kind) {
       case TaskKind::kParallelRead: run_read_node(ctx, clock); break;
       case TaskKind::kDoppler: run_doppler_node(ctx, clock); break;
@@ -857,7 +1041,21 @@ RunResult ThreadRunner::run() {
         break;
     }
     clock.finish();
-  });
+  };
+
+  if (supervisor) {
+    // Respawns must rebuild a Comm without World::run, so the body makes
+    // its own (the original spawn's comm argument is equivalent; both are
+    // world-spanning context-0 communicators).
+    supervisor->set_rank_body([&](int rank) {
+      mp::Comm comm = world.make_comm(rank);
+      node_main(comm);
+    });
+    world.run([&](mp::Comm& comm) { supervisor->run_rank(comm.rank()); });
+    supervisor->finish();  // joins replaying respawns; throws on abort
+  } else {
+    world.run(node_main);
+  }
 
   // --- Aggregate: per task, report the slowest node's phases. ---
   RunResult result;
@@ -893,10 +1091,27 @@ RunResult ThreadRunner::run() {
   result.metrics.io.submit_latency = fs.engine().submit_latency();
   result.metrics.io.bytes_serviced = fs.engine().bytes_serviced();
   result.metrics.io.retries = io_retry_counter().value() - retries_before;
+  result.metrics.io.corrupt_chunks = fs.engine().corrupt_chunks();
+  result.metrics.io.quarantined_servers = fs.engine().quarantined_servers();
   if (options_.fault_plan) {
     result.metrics.io.injected_delays = options_.fault_plan->injected_delays();
     result.metrics.io.injected_errors = options_.fault_plan->injected_errors();
     result.metrics.io.injected_partials = options_.fault_plan->injected_partials();
+    result.metrics.io.injected_corruptions =
+        options_.fault_plan->injected_corruptions();
+    result.metrics.recovery.injected_crashes =
+        options_.fault_plan->injected_crashes();
+  }
+  if (supervisor) {
+    const RecoveryStats rs = supervisor->stats();
+    auto& rec = result.metrics.recovery;
+    rec.crashes_detected = rs.crashes_detected;
+    rec.ranks_respawned = rs.ranks_respawned;
+    rec.io_failovers = rs.io_failovers;
+    rec.promoted_reads = rs.promoted_reads;
+    rec.replayed_messages = rs.replayed_messages;
+    rec.checkpoint_peak_bytes = rs.checkpoint_peak_bytes;
+    rec.max_detection_delay = rs.max_detection_delay;
   }
   // Union the per-rank dropped-CPI sets and suppress those CPIs'
   // detections: a degraded read zero-fills only one node's slab, so the

@@ -22,6 +22,7 @@
 #include "common/retry.hpp"
 #include "pfs/striped_file_system.hpp"
 #include "pipeline/metrics.hpp"
+#include "pipeline/supervisor.hpp"
 #include "pipeline/task_spec.hpp"
 #include "stap/cfar.hpp"
 #include "stap/cube_io.hpp"
@@ -66,6 +67,15 @@ struct RunOptions {
   /// run under it, so arm read sites ("pfs.server.read.*") rather than a
   /// whole server when only the pipeline side should fault.
   std::shared_ptr<fault::FaultPlan> fault_plan;
+
+  /// Supervision and recovery (see pipeline/supervisor.hpp). When enabled,
+  /// ranks beat and expose crash sites "pipeline.rank.<R>" (CPI start) and
+  /// "pipeline.rank.<R>.send" (send-phase start); a crashed compute rank is
+  /// respawned and replays from its checkpoint, a crashed separate-I/O rank
+  /// triggers Doppler failover to embedded reads. Not combinable with
+  /// collective_io (collectives have no replay path). Crash sites are only
+  /// evaluated under supervision — an unsupervised crash would wedge peers.
+  SupervisorOptions supervise;
 
   /// Chrome trace_event JSON output. Non-empty: run() records a trace (per
   /// rank/CPI/phase spans, I/O server activity, fault markers) and writes

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "obs/trace.hpp"
 
@@ -72,6 +73,21 @@ SimResult SimRunner::run() {
     }
   }
 
+  // Crash events: (stage, cpi) -> extra service seconds.
+  std::map<std::pair<int, int>, Seconds> crash_extra;
+  for (const SimOptions::CrashEvent& c : opt_.crashes) {
+    PSTAP_REQUIRE(c.cpi >= 0 && c.cpi < opt_.cpis, "crash cpi out of range");
+    PSTAP_REQUIRE(c.detection >= 0 && c.recovery >= 0 && c.lost_work >= 0,
+                  "crash delays must be non-negative");
+    const int si = spec.find(c.task);
+    PSTAP_REQUIRE(si >= 0, "crash event targets a task absent from the spec");
+    crash_extra[{si, c.cpi}] += c.detection + c.recovery + c.lost_work;
+  }
+  const auto extra_of = [&](int si, int k) -> Seconds {
+    const auto it = crash_extra.find({si, k});
+    return it == crash_extra.end() ? 0.0 : it->second;
+  };
+
   const auto idx = [&](TaskKind kind) { return spec.find(kind); };
   const int i_read = idx(TaskKind::kParallelRead);
   const int i_dop = idx(TaskKind::kDoppler);
@@ -133,14 +149,15 @@ SimResult SimRunner::run() {
       s.busy[ri] = true;
       if (si == head) entry[static_cast<std::size_t>(k)] = queue.now();
       const bool timed = k >= opt_.warmup;
-      queue.schedule_in(s.cost.occupancy, [&, si, k, ri, timed] {
+      const Seconds service = s.cost.occupancy + extra_of(si, k);
+      queue.schedule_in(service, [&, si, k, ri, timed, service] {
         Stage& self = stages[static_cast<std::size_t>(si)];
         self.busy[ri] = false;
         self.next_k[ri] = k + self.replicas;
         self.arrived.erase(k);
-        if (timed) self.busy_time += self.cost.occupancy;
+        if (timed) self.busy_time += service;
         if (obs::trace_enabled()) {
-          const std::int64_t dur_ns = std::llround(self.cost.occupancy * 1e9);
+          const std::int64_t dur_ns = std::llround(service * 1e9);
           const std::int64_t end_ns = std::llround(queue.now() * 1e9);
           obs::TraceRecorder::global().complete(
               "sim", pipeline::task_name(self.cost.kind), si, end_ns - dur_ns,

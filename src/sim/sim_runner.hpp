@@ -34,6 +34,24 @@ struct SimOptions {
   /// Not allowed on tasks that read the file system (the I/O servers are
   /// shared, so replication cannot parallelize them).
   std::map<pipeline::TaskKind, int> replicas;
+
+  /// What-if cost model for the supervision subsystem: a node of `task`
+  /// crashes while serving `cpi`. The CPI's service time is extended by
+  /// the failure-detection delay, the recovery (respawn or failover)
+  /// delay, and any re-executed work — checkpointed replay re-reads its
+  /// inputs from the ring, so a CPI-start crash loses no work
+  /// (lost_work = 0) while a crash at the send phase re-runs the whole
+  /// compute (lost_work = the stage occupancy). Downstream stages stall
+  /// accordingly, which is exactly the availability cost the functional
+  /// runner's supervisor pays.
+  struct CrashEvent {
+    pipeline::TaskKind task{};
+    int cpi = 0;
+    Seconds detection = 0;  ///< death -> monitor action (heartbeat bound)
+    Seconds recovery = 0;   ///< respawn / failover latency
+    Seconds lost_work = 0;  ///< re-executed service time
+  };
+  std::vector<CrashEvent> crashes;
 };
 
 struct SimResult {

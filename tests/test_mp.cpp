@@ -641,5 +641,46 @@ TEST(Mp, RepeatedRunsOnSameWorld) {
   }
 }
 
+// ---------------------------------------------------------- close/reopen --
+
+// Closing the mailboxes must wake every blocked receiver with
+// MailboxClosed (the supervisor's abort path relies on this to unwind a
+// wedged world instead of hanging), while envelopes queued before the
+// close still drain normally.
+TEST(Mp, CloseWakesAllBlockedReceivers) {
+  World world(4);
+  std::atomic<int> woken{0};
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Nobody ever sends tag 9: ranks 1-3 block until the close.
+      comm.send_value(1, 7, 42);  // queued pre-close; must still drain
+      world.close_all_mailboxes();
+      return;
+    }
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 42) << "queued envelope lost";
+    }
+    EXPECT_THROW((void)comm.recv_value<int>(0, /*tag=*/9), MailboxClosed);
+    woken++;
+  });
+  EXPECT_EQ(woken.load(), 3);
+  world.reopen_all_mailboxes();
+}
+
+TEST(Mp, ReopenRestoresBlockingReceives) {
+  World world(2);
+  world.run([&world](Comm& comm) {
+    if (comm.rank() == 0) world.close_all_mailboxes();
+  });
+  world.reopen_all_mailboxes();
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 3, 5);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 3), 5);
+    }
+  });
+}
+
 }  // namespace
 }  // namespace pstap::mp

@@ -438,6 +438,71 @@ TEST(SimRunnerTest, RejectsBadOptions) {
   EXPECT_THROW(SimRunner(spec, paragon_like(16), opt), PreconditionError);
 }
 
+TEST(SimRunnerTest, CrashEventStretchesLatencyByItsStall) {
+  // A crash at a latency-path stage (PC, steady-state CPI): the CPI's
+  // service stretches by detection + recovery + lost_work.
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
+  SimOptions opt;
+  opt.cpis = 16;
+  opt.warmup = 4;
+  const SimResult clean = SimRunner(spec, paragon_like(64), opt).run();
+
+  SimOptions::CrashEvent crash;
+  crash.task = TaskKind::kPulseCompression;
+  crash.cpi = 8;
+  crash.detection = 0.010;
+  crash.recovery = 0.050;
+  crash.lost_work = 0.025;
+  const Seconds stall = crash.detection + crash.recovery + crash.lost_work;
+
+  // Saturated source, crash at the bottleneck stage (zero slack, so the
+  // stall pushes every later exit back): the measured
+  // (availability-degraded) throughput must drop and latency must grow.
+  {
+    auto copt = opt;
+    SimOptions::CrashEvent bneck = crash;
+    Seconds occ_max = 0;
+    for (const auto& c : clean.costs) {
+      if (c.occupancy > occ_max) {
+        occ_max = c.occupancy;
+        bneck.task = c.kind;
+      }
+    }
+    copt.crashes.push_back(bneck);
+    const SimResult crashed = SimRunner(spec, paragon_like(64), copt).run();
+    EXPECT_LT(crashed.measured_throughput, clean.measured_throughput);
+    EXPECT_GT(crashed.measured_latency, clean.measured_latency);
+  }
+
+  // Unsaturated source (period > occupancy + stall, so CPIs never queue
+  // behind the stall): only the crashed CPI's latency grows, by exactly
+  // the stall, so the mean grows by stall / steady-window size.
+  Seconds t_max = 0;
+  for (const auto& c : clean.costs) t_max = std::max(t_max, c.occupancy);
+  opt.input_period = 10 * t_max + stall;
+
+  const SimResult slack = SimRunner(spec, paragon_like(64), opt).run();
+  opt.crashes.push_back(crash);
+  const SimResult crashed = SimRunner(spec, paragon_like(64), opt).run();
+
+  const Seconds expect = slack.measured_latency +
+                         stall / static_cast<double>(opt.cpis - opt.warmup);
+  EXPECT_NEAR(crashed.measured_latency, expect, 1e-9 + 1e-6 * expect);
+}
+
+TEST(SimRunnerTest, CrashEventValidation) {
+  const auto p = paper_params();
+  const auto spec = proportional_assignment(p, 25, IoStrategy::kEmbedded, false);
+  SimOptions opt;
+  opt.crashes.push_back({TaskKind::kPulseCompression, /*cpi=*/-1, 0, 0, 0});
+  EXPECT_THROW(SimRunner(spec, paragon_like(16), opt).run(), PreconditionError);
+  opt.crashes = {{TaskKind::kParallelRead, /*cpi=*/0, 0, 0, 0}};  // embedded: absent
+  EXPECT_THROW(SimRunner(spec, paragon_like(16), opt).run(), PreconditionError);
+  opt.crashes = {{TaskKind::kDoppler, /*cpi=*/0, -1.0, 0, 0}};
+  EXPECT_THROW(SimRunner(spec, paragon_like(16), opt).run(), PreconditionError);
+}
+
 TEST(SimRunnerTest, DeterministicAcrossRuns) {
   const auto p = paper_params();
   const auto spec = proportional_assignment(p, 50, IoStrategy::kEmbedded, false);
