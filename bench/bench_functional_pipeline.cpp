@@ -3,10 +3,16 @@
 // organizations at laptop scale and prints measured phase tables. This is
 // a correctness-bearing demonstration, not a reproduction of the paper's
 // numbers — those come from the sim-backed table benches.
+// Each organization's steady-state rate is also dumped to
+// BENCH_pipeline.json (override with PSTAP_BENCH_JSON) for the tracked
+// perf baseline: ns_per_op is nanoseconds per CPI, bytes_per_second is
+// CPI-file bytes consumed per second.
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 
+#include "perf_json.hpp"
 #include "common/table.hpp"
 #include "pipeline/thread_runner.hpp"
 
@@ -24,6 +30,21 @@ pipeline::RunOptions make_options(const fsys::path& root) {
   opt.scene.cnr_db = 40.0;
   opt.scene.targets = {{40, 8.0, 0.0, 18.0}, {90, 1.0, -0.35, 25.0}};
   return opt;
+}
+
+std::vector<bench::PerfRecord> g_records;
+
+void record_perf(const char* name, const stap::RadarParams& p,
+                 const pipeline::RunResult& result) {
+  bench::PerfRecord rec;
+  rec.name = name;
+  rec.iterations = static_cast<double>(result.timed_cpis);
+  const double cpi_per_s = result.metrics.throughput();
+  if (cpi_per_s > 0) {
+    rec.ns_per_op = 1e9 / cpi_per_s;
+    rec.bytes_per_second = static_cast<double>(p.cube_bytes()) * cpi_per_s;
+  }
+  g_records.push_back(rec);
 }
 
 void report(const char* title, const pipeline::PipelineSpec& spec,
@@ -57,16 +78,26 @@ int main() {
 
   {
     pipeline::ThreadRunner runner(embedded, make_options(root / "a"));
-    report("embedded I/O (7 tasks, 8 nodes)", embedded, runner.run());
+    const auto result = runner.run();
+    report("embedded I/O (7 tasks, 8 nodes)", embedded, result);
+    record_perf("Pipeline_EmbeddedIo", p, result);
   }
   {
     pipeline::ThreadRunner runner(separate, make_options(root / "b"));
-    report("separate I/O task (8 tasks, 9 nodes)", separate, runner.run());
+    const auto result = runner.run();
+    report("separate I/O task (8 tasks, 9 nodes)", separate, result);
+    record_perf("Pipeline_SeparateIo", p, result);
   }
   {
     pipeline::ThreadRunner runner(combined, make_options(root / "c"));
-    report("combined PC+CFAR (6 tasks, 8 nodes)", combined, runner.run());
+    const auto result = runner.run();
+    report("combined PC+CFAR (6 tasks, 8 nodes)", combined, result);
+    record_perf("Pipeline_CombinedPcCfar", p, result);
   }
+
+  const char* json_path = std::getenv("PSTAP_BENCH_JSON");
+  bench::write_perf_json(json_path != nullptr ? json_path : "BENCH_pipeline.json",
+                         g_records);
 
   std::error_code ec;
   fsys::remove_all(root, ec);

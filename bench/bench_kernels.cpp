@@ -1,7 +1,12 @@
 // google-benchmark microbenches of every STAP kernel — the real flop rates
-// behind the workload model's W_i terms.
+// behind the workload model's W_i terms. Results are also dumped as
+// BENCH_kernels.json (override the path with PSTAP_BENCH_JSON) for the
+// tracked perf baseline; see bench/perf_json.hpp.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
+#include "perf_json.hpp"
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
 #include "stap/beamform.hpp"
@@ -34,8 +39,48 @@ void BM_FftPow2(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(cfloat)));
 }
 BENCHMARK(BM_FftPow2)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FftBatchPow2(benchmark::State& state) {
+  const std::size_t n = 256;
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  fft::FftPlan plan(n);
+  fft::BatchScratch scratch;
+  Rng rng(8);
+  std::vector<cfloat> data(n * count);
+  for (auto& v : data) v = rng.complex_normal();
+  for (auto _ : state) {
+    plan.transform_batch(data, count, fft::Direction::kForward, scratch);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * count));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * count * sizeof(cfloat)));
+}
+BENCHMARK(BM_FftBatchPow2)->Arg(16)->Arg(64);
+
+void BM_FftBatchBluestein(benchmark::State& state) {
+  const std::size_t n = 127;
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  fft::FftPlan plan(n);
+  fft::BatchScratch scratch;
+  Rng rng(9);
+  std::vector<cfloat> data(n * count);
+  for (auto& v : data) v = rng.complex_normal();
+  for (auto _ : state) {
+    plan.transform_batch(data, count, fft::Direction::kForward, scratch);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * count));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * count * sizeof(cfloat)));
+}
+BENCHMARK(BM_FftBatchBluestein)->Arg(16)->Arg(64);
 
 void BM_FftBluestein(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -61,6 +106,8 @@ void BM_DopplerFilter(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(cube.samples()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cube.samples() * sizeof(cfloat)));
 }
 BENCHMARK(BM_DopplerFilter);
 
@@ -117,6 +164,8 @@ void BM_PulseCompression(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(beams.samples()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(beams.samples() * sizeof(cfloat)));
 }
 BENCHMARK(BM_PulseCompression);
 
@@ -137,6 +186,8 @@ void BM_Cfar(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(beams.samples()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(beams.samples() * sizeof(cfloat)));
 }
 BENCHMARK(BM_Cfar);
 
@@ -153,6 +204,42 @@ void BM_SceneGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SceneGeneration);
 
+/// Console reporter that also captures each run as a PerfRecord for the
+/// JSON baseline dump.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(std::vector<pstap::bench::PerfRecord>* out)
+      : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      pstap::bench::PerfRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = static_cast<double>(run.iterations);
+      rec.ns_per_op = run.GetAdjustedRealTime();  // default time unit is ns
+      const auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) rec.bytes_per_second = it->second;
+      out_->push_back(rec);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  std::vector<pstap::bench::PerfRecord>* out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::vector<pstap::bench::PerfRecord> records;
+  JsonCapturingReporter reporter(&records);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("PSTAP_BENCH_JSON");
+  pstap::bench::write_perf_json(path != nullptr ? path : "BENCH_kernels.json",
+                                records);
+  benchmark::Shutdown();
+  return 0;
+}

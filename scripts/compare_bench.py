@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark JSON dump against a committed baseline.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+CI machines and the machine the baseline was recorded on differ in
+absolute speed, so raw ns/op comparisons are meaningless. What should be
+stable is the *shape*: every benchmark's current/baseline ratio moves by
+roughly the same machine-speed factor. We estimate that factor as the
+median ratio across all shared benchmarks, normalize each ratio by it,
+and flag a regression only when a benchmark is more than ``threshold``
+slower than the fleet-wide trend (default 25%).
+
+Exit status: 0 clean, 1 regression found, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    records = {}
+    for rec in doc.get("benchmarks", []):
+        name, ns = rec.get("name"), rec.get("ns_per_op", 0)
+        if name and ns > 0:
+            records[name] = ns
+    if not records:
+        print(f"compare_bench: no usable records in {path}", file=sys.stderr)
+        sys.exit(2)
+    return records
+
+
+def median(values):
+    s = sorted(values)
+    mid = len(s) // 2
+    return s[mid] if len(s) % 2 else (s[mid - 1] + s[mid]) / 2
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed slowdown vs the median trend (default 0.25)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("compare_bench: baseline and current share no benchmarks",
+              file=sys.stderr)
+        sys.exit(2)
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"WARNING: {len(missing)} baseline benchmark(s) missing from "
+              f"current run: {', '.join(missing)}")
+
+    ratios = {name: cur[name] / base[name] for name in shared}
+    trend = median(ratios.values())
+    print(f"machine-speed trend (median current/baseline ratio): {trend:.3f}")
+    print(f"{'benchmark':40s} {'base ns':>12s} {'cur ns':>12s} "
+          f"{'ratio':>7s} {'vs trend':>9s}")
+
+    failures = []
+    for name in shared:
+        rel = ratios[name] / trend
+        flag = ""
+        if rel > 1.0 + args.threshold:
+            flag = "  << REGRESSION"
+            failures.append((name, rel))
+        print(f"{name:40s} {base[name]:12.0f} {cur[name]:12.0f} "
+              f"{ratios[name]:7.3f} {rel:9.3f}{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) more than "
+              f"{args.threshold:.0%} slower than the machine trend:")
+        for name, rel in failures:
+            print(f"  {name}: {rel - 1:+.1%} vs trend")
+        sys.exit(1)
+    print(f"\nOK: all {len(shared)} shared benchmarks within "
+          f"{args.threshold:.0%} of the machine trend")
+
+
+if __name__ == "__main__":
+    main()

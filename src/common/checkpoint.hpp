@@ -24,6 +24,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/error.hpp"
 
 namespace pstap::ckpt {
@@ -41,30 +42,46 @@ class CheckpointRing {
   CheckpointRing& operator=(const CheckpointRing&) = delete;
 
   /// Log a message consumed at `cpi` on `stream` from comm rank `source`.
-  /// Recording the same key twice keeps the first copy (a replayed receive
-  /// re-records idempotently).
-  void record_message(int cpi, int stream, int source,
-                      const std::vector<std::byte>& bytes) {
+  /// The ring shares the refcounted payload — no byte is copied; the
+  /// storage stays alive until complete() evicts the entry. Recording the
+  /// same key twice keeps the first copy (a replayed receive re-records
+  /// idempotently).
+  void record_message(int cpi, int stream, int source, Buffer payload) {
     std::lock_guard lock(mu_);
     if (find_locked(cpi, stream, source) != nullptr) return;
     check_depth_locked(cpi);
-    bytes_held_ += bytes.size();
+    bytes_held_ += payload.size();
     peak_bytes_ = std::max(peak_bytes_, bytes_held_);
     ++recorded_;
-    messages_.push_back(Entry{cpi, stream, source, bytes});
+    messages_.push_back(Entry{cpi, stream, source, std::move(payload)});
   }
 
-  /// Replay lookup: copy of the logged payload for (cpi, stream, source),
-  /// or std::nullopt-like empty result signalled via the bool. Counts a
-  /// replay on hit — fresh executions never hit (their entries were either
-  /// never recorded or already evicted by complete()).
-  bool replay_message(int cpi, int stream, int source,
-                      std::vector<std::byte>& out) {
+  /// Byte-vector convenience (tests, legacy callers): copies once into a
+  /// refcounted buffer.
+  void record_message(int cpi, int stream, int source,
+                      const std::vector<std::byte>& bytes) {
+    record_message(cpi, stream, source, Buffer::copy_of(bytes));
+  }
+
+  /// Replay lookup: a shared handle to the logged payload for (cpi,
+  /// stream, source); `false` when absent. Counts a replay on hit — fresh
+  /// executions never hit (their entries were either never recorded or
+  /// already evicted by complete()).
+  bool replay_message(int cpi, int stream, int source, Buffer& out) {
     std::lock_guard lock(mu_);
     const Entry* entry = find_locked(cpi, stream, source);
     if (entry == nullptr) return false;
-    out = entry->bytes;
+    out = entry->payload;
     ++replayed_;
+    return true;
+  }
+
+  /// Byte-vector convenience: copies the payload out.
+  bool replay_message(int cpi, int stream, int source,
+                      std::vector<std::byte>& out) {
+    Buffer buf;
+    if (!replay_message(cpi, stream, source, buf)) return false;
+    out.assign(buf.data(), buf.data() + buf.size());
     return true;
   }
 
@@ -94,7 +111,7 @@ class CheckpointRing {
     watermark_ = std::max(watermark_, cpi);
     for (auto it = messages_.begin(); it != messages_.end();) {
       if (it->cpi <= watermark_) {
-        bytes_held_ -= it->bytes.size();
+        bytes_held_ -= it->payload.size();
         it = messages_.erase(it);
       } else {
         ++it;
@@ -135,7 +152,7 @@ class CheckpointRing {
     int cpi;
     int stream;
     int source;
-    std::vector<std::byte> bytes;
+    Buffer payload;  ///< shared view of the consumed message (no copy)
   };
 
   const Entry* find_locked(int cpi, int stream, int source) const {

@@ -1,5 +1,6 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -38,6 +39,40 @@ std::vector<std::uint32_t> make_bitrev(std::size_t n) {
     rev[i] = static_cast<std::uint32_t>(r);
   }
   return rev;
+}
+
+// AoS -> SoA: gather L series (series l's element k at base[l*dist + k*stride])
+// into planes re/im[k*L + l]. std::complex<float> is layout-compatible with
+// float[2], so the gather reads the raw float pairs.
+void gather_soa(const cfloat* base, std::size_t n, std::size_t dist,
+                std::size_t stride, std::size_t lanes, float* re, float* im) {
+  const float* f = reinterpret_cast<const float*>(base);
+  for (std::size_t k = 0; k < n; ++k) {
+    float* rk = re + k * lanes;
+    float* ik = im + k * lanes;
+    const std::size_t row = 2 * k * stride;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t idx = row + 2 * l * dist;
+      rk[l] = f[idx];
+      ik[l] = f[idx + 1];
+    }
+  }
+}
+
+// SoA -> AoS scatter, inverse of gather_soa.
+void scatter_soa(cfloat* base, std::size_t n, std::size_t dist, std::size_t stride,
+                 std::size_t lanes, const float* re, const float* im) {
+  float* f = reinterpret_cast<float*>(base);
+  for (std::size_t k = 0; k < n; ++k) {
+    const float* rk = re + k * lanes;
+    const float* ik = im + k * lanes;
+    const std::size_t row = 2 * k * stride;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t idx = row + 2 * l * dist;
+      f[idx] = rk[l];
+      f[idx + 1] = ik[l];
+    }
+  }
 }
 
 }  // namespace
@@ -137,24 +172,199 @@ void FftPlan::transform(std::span<cfloat> data, Direction dir) const {
   }
 }
 
-void FftPlan::transform_strided(cfloat* data, std::size_t stride, Direction dir) {
+void FftPlan::transform_strided(cfloat* data, std::size_t stride, Direction dir,
+                                std::vector<cfloat>& scratch) const {
   PSTAP_REQUIRE(data != nullptr, "null data");
   PSTAP_REQUIRE(stride >= 1, "stride must be >= 1");
   if (stride == 1) {
     transform({data, n_}, dir);
     return;
   }
-  scratch_.resize(n_);
-  for (std::size_t i = 0; i < n_; ++i) scratch_[i] = data[i * stride];
-  transform(scratch_, dir);
-  for (std::size_t i = 0; i < n_; ++i) data[i * stride] = scratch_[i];
+  scratch.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) scratch[i] = data[i * stride];
+  transform(std::span<cfloat>(scratch.data(), n_), dir);
+  for (std::size_t i = 0; i < n_; ++i) data[i * stride] = scratch[i];
+}
+
+void FftPlan::transform_strided(cfloat* data, std::size_t stride, Direction dir) {
+  transform_strided(data, stride, dir, scratch_);
+}
+
+// Lane-parallel radix-2 butterflies over SoA planes. The lane index is the
+// contiguous innermost dimension, so every arithmetic statement in the
+// inner loops is a vectorizable stream op with the twiddle broadcast.
+void FftPlan::soa_pow2(float* re, float* im, std::size_t lanes, Direction dir) const {
+  const std::size_t n = n_;
+  const std::size_t L = lanes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) {
+      float* ri = re + i * L;
+      float* rj = re + j * L;
+      float* ii = im + i * L;
+      float* ij = im + j * L;
+      for (std::size_t l = 0; l < L; ++l) std::swap(ri[l], rj[l]);
+      for (std::size_t l = 0; l < L; ++l) std::swap(ii[l], ij[l]);
+    }
+  }
+  const std::vector<cfloat>& tw =
+      dir == Direction::kForward ? twiddle_fwd_ : twiddle_inv_;
+  std::size_t tw_base = 0;
+  for (std::size_t h = 1; h < n; h <<= 1) {
+    for (std::size_t block = 0; block < n; block += 2 * h) {
+      for (std::size_t j = 0; j < h; ++j) {
+        const float wr = tw[tw_base + j].real();
+        const float wi = tw[tw_base + j].imag();
+        float* ar = re + (block + j) * L;
+        float* ai = im + (block + j) * L;
+        float* br = re + (block + j + h) * L;
+        float* bi = im + (block + j + h) * L;
+        for (std::size_t l = 0; l < L; ++l) {
+          const float tr = wr * br[l] - wi * bi[l];
+          const float ti = wr * bi[l] + wi * br[l];
+          br[l] = ar[l] - tr;
+          bi[l] = ai[l] - ti;
+          ar[l] += tr;
+          ai[l] += ti;
+        }
+      }
+    }
+    tw_base += h;
+  }
+  if (dir == Direction::kInverse) {
+    const float inv = 1.0f / static_cast<float>(n);
+    const std::size_t total = n * L;
+    for (std::size_t i = 0; i < total; ++i) re[i] *= inv;
+    for (std::size_t i = 0; i < total; ++i) im[i] *= inv;
+  }
+}
+
+// Bluestein over SoA planes. The per-element chirp/kernel factors become
+// per-row scalar broadcasts; the conjugates are sign flips on the imaginary
+// part, so no std::conj temporaries appear in the lane loops.
+void FftPlan::soa_bluestein(float* re, float* im, std::size_t lanes, Direction dir,
+                            BatchScratch& scratch) const {
+  const bool fwd = dir == Direction::kForward;
+  const std::size_t L = lanes;
+  const float sign = fwd ? 1.0f : -1.0f;
+  scratch.re2_.assign(m_ * L, 0.0f);
+  scratch.im2_.assign(m_ * L, 0.0f);
+  float* ar = scratch.re2_.data();
+  float* ai = scratch.im2_.data();
+  for (std::size_t k = 0; k < n_; ++k) {
+    const float cr = chirp_[k].real();
+    const float ci = sign * chirp_[k].imag();
+    const float* xr = re + k * L;
+    const float* xi = im + k * L;
+    float* yr = ar + k * L;
+    float* yi = ai + k * L;
+    for (std::size_t l = 0; l < L; ++l) {
+      yr[l] = xr[l] * cr - xi[l] * ci;
+      yi[l] = xr[l] * ci + xi[l] * cr;
+    }
+  }
+  helper_->soa_pow2(ar, ai, L, Direction::kForward);
+  const std::vector<cfloat>& kernel = fwd ? chirp_fft_fwd_ : chirp_fft_inv_;
+  for (std::size_t i = 0; i < m_; ++i) {
+    const float kr = kernel[i].real();
+    const float ki = kernel[i].imag();
+    float* yr = ar + i * L;
+    float* yi = ai + i * L;
+    for (std::size_t l = 0; l < L; ++l) {
+      const float tr = yr[l] * kr - yi[l] * ki;
+      yi[l] = yr[l] * ki + yi[l] * kr;
+      yr[l] = tr;
+    }
+  }
+  helper_->soa_pow2(ar, ai, L, Direction::kInverse);
+  const float post = fwd ? 1.0f : 1.0f / static_cast<float>(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const float cr = chirp_[k].real() * post;
+    const float ci = sign * chirp_[k].imag() * post;
+    const float* yr = ar + k * L;
+    const float* yi = ai + k * L;
+    float* xr = re + k * L;
+    float* xi = im + k * L;
+    for (std::size_t l = 0; l < L; ++l) {
+      xr[l] = yr[l] * cr - yi[l] * ci;
+      xi[l] = yr[l] * ci + yi[l] * cr;
+    }
+  }
+}
+
+void FftPlan::transform_soa(std::span<float> re, std::span<float> im,
+                            std::size_t lanes, Direction dir,
+                            BatchScratch& scratch) const {
+  PSTAP_REQUIRE(re.size() == n_ * lanes && im.size() == n_ * lanes,
+                "SoA plane size does not match plan length * lanes");
+  if (n_ == 1 || lanes == 0) return;
+  if (pow2_) {
+    soa_pow2(re.data(), im.data(), lanes, dir);
+  } else {
+    soa_bluestein(re.data(), im.data(), lanes, dir, scratch);
+  }
+}
+
+void FftPlan::transform_batch(std::span<cfloat> data, std::size_t count,
+                              Direction dir, BatchScratch& scratch) const {
+  PSTAP_REQUIRE(data.size() == count * n_, "batch buffer size mismatch");
+  transform_strided_batch(data.data(), count, n_, 1, dir, scratch);
 }
 
 void FftPlan::transform_batch(std::span<cfloat> data, std::size_t count,
                               Direction dir) const {
+  BatchScratch scratch;
+  transform_batch(data, count, dir, scratch);
+}
+
+void FftPlan::transform_strided_batch(cfloat* base, std::size_t count,
+                                      std::size_t dist, std::size_t stride,
+                                      Direction dir, BatchScratch& scratch) const {
+  PSTAP_REQUIRE(base != nullptr || count == 0, "null data");
+  if (count == 0 || n_ == 0) return;
+  if (n_ == 1) return;  // length-1 transform is the identity
+  scratch.re_.resize(n_ * kBatchLanes);
+  scratch.im_.resize(n_ * kBatchLanes);
+  for (std::size_t b0 = 0; b0 < count; b0 += kBatchLanes) {
+    const std::size_t L = std::min(kBatchLanes, count - b0);
+    cfloat* block = base + b0 * dist;
+    gather_soa(block, n_, dist, stride, L, scratch.re_.data(), scratch.im_.data());
+    transform_soa(std::span<float>(scratch.re_.data(), n_ * L),
+                  std::span<float>(scratch.im_.data(), n_ * L), L, dir, scratch);
+    scatter_soa(block, n_, dist, stride, L, scratch.re_.data(), scratch.im_.data());
+  }
+}
+
+void FftPlan::convolve_batch(std::span<cfloat> data, std::size_t count,
+                             std::span<const cfloat> spectrum,
+                             BatchScratch& scratch) const {
   PSTAP_REQUIRE(data.size() == count * n_, "batch buffer size mismatch");
-  for (std::size_t b = 0; b < count; ++b) {
-    transform(data.subspan(b * n_, n_), dir);
+  PSTAP_REQUIRE(spectrum.size() == n_, "spectrum size does not match plan length");
+  if (count == 0 || n_ == 0) return;
+  scratch.re_.resize(n_ * kBatchLanes);
+  scratch.im_.resize(n_ * kBatchLanes);
+  for (std::size_t b0 = 0; b0 < count; b0 += kBatchLanes) {
+    const std::size_t L = std::min(kBatchLanes, count - b0);
+    cfloat* block = data.data() + b0 * n_;
+    float* re = scratch.re_.data();
+    float* im = scratch.im_.data();
+    gather_soa(block, n_, n_, 1, L, re, im);
+    transform_soa(std::span<float>(re, n_ * L), std::span<float>(im, n_ * L), L,
+                  Direction::kForward, scratch);
+    for (std::size_t k = 0; k < n_; ++k) {
+      const float sr = spectrum[k].real();
+      const float si = spectrum[k].imag();
+      float* rk = re + k * L;
+      float* ik = im + k * L;
+      for (std::size_t l = 0; l < L; ++l) {
+        const float tr = rk[l] * sr - ik[l] * si;
+        ik[l] = rk[l] * si + ik[l] * sr;
+        rk[l] = tr;
+      }
+    }
+    transform_soa(std::span<float>(re, n_ * L), std::span<float>(im, n_ * L), L,
+                  Direction::kInverse, scratch);
+    scatter_soa(block, n_, n_, 1, L, re, im);
   }
 }
 

@@ -6,10 +6,19 @@
 //   * arbitrary lengths: Bluestein's chirp-z algorithm layered on a
 //     power-of-two plan.
 //
-// Plans are immutable after construction and safe to share across threads
-// for `transform` calls that use caller-provided scratch; the convenience
-// strided/batched entry points keep per-plan scratch and are therefore not
-// thread-safe — each mp rank owns its own plan in the pipeline code.
+// Batched entry points process many independent series per call by
+// transposing lane blocks into structure-of-arrays (SoA) planes: element k
+// of lane l lives at plane[k * lanes + l], so every butterfly's inner loop
+// runs contiguously across lanes with a scalar twiddle broadcast — the
+// shape the compiler auto-vectorizes. This replaces per-series dispatch
+// (and per-element strided gathers) with one transpose per block.
+//
+// Thread safety: plans are immutable after construction. Every entry point
+// taking a caller-provided scratch (BatchScratch or a scratch vector) is
+// const and safe to call concurrently on a shared plan — give each thread
+// its own scratch. The legacy no-scratch transform_strided overload mutates
+// plan-local scratch and is NOT thread-safe; it survives for convenience
+// only.
 #pragma once
 
 #include <cstddef>
@@ -25,9 +34,28 @@ namespace pstap::fft {
 /// Transform direction.
 enum class Direction { kForward, kInverse };
 
+class FftPlan;
+
+/// Reusable workspace for the batched/SoA transforms. One instance per
+/// thread; it grows to fit the largest (plan length × lanes) it has seen
+/// and is reused allocation-free after that. Usable with any plan.
+class BatchScratch {
+ public:
+  BatchScratch() = default;
+
+ private:
+  friend class FftPlan;
+  std::vector<float> re_, im_;    // primary SoA planes (n × lanes)
+  std::vector<float> re2_, im2_;  // Bluestein convolution planes (m × lanes)
+};
+
 /// A planned complex-to-complex FFT of fixed length.
 class FftPlan {
  public:
+  /// Lane-block width of the batched transforms: series are processed in
+  /// groups of up to this many, wide enough to fill SIMD registers.
+  static constexpr std::size_t kBatchLanes = 16;
+
   /// Build a plan for length n (n >= 1). Arbitrary n supported.
   explicit FftPlan(std::size_t n);
 
@@ -35,20 +63,60 @@ class FftPlan {
 
   /// In-place transform of `data` (size() elements).
   /// Inverse transforms are scaled by 1/N so that inverse(forward(x)) == x.
+  /// Thread-safe on a shared plan.
   void transform(std::span<cfloat> data, Direction dir) const;
 
   /// Transform a strided sequence: elements data[0], data[stride], ...
-  /// data[(size()-1)*stride]. Gathers into internal scratch, transforms and
-  /// scatters back. Not thread-safe (uses plan-local scratch).
+  /// data[(size()-1)*stride]. Gathers into `scratch` (resized as needed),
+  /// transforms and scatters back. Thread-safe on a shared plan when each
+  /// caller provides its own scratch.
+  void transform_strided(cfloat* data, std::size_t stride, Direction dir,
+                         std::vector<cfloat>& scratch) const;
+
+  /// Legacy convenience overload. NOT thread-safe: mutates plan-local
+  /// scratch. Prefer the scratch-taking overload on shared plans.
   void transform_strided(cfloat* data, std::size_t stride, Direction dir);
 
-  /// Transform `count` contiguous transforms laid out back to back in
-  /// `data` (count * size() elements).
+  /// Transform `count` series laid out back to back in `data`
+  /// (count * size() elements), lane-blocked through SoA planes.
+  /// Thread-safe on a shared plan with per-caller scratch.
+  void transform_batch(std::span<cfloat> data, std::size_t count, Direction dir,
+                       BatchScratch& scratch) const;
+
+  /// Convenience overload using a transient scratch (one allocation set per
+  /// call, amortized over the batch). Thread-safe.
   void transform_batch(std::span<cfloat> data, std::size_t count, Direction dir) const;
+
+  /// Batched strided transform: series b's element k lives at
+  /// base[b * dist + k * stride]. Gathers lane blocks into SoA planes
+  /// (one pass), transforms, scatters back. `dist` is the series-to-series
+  /// distance in elements. Thread-safe with per-caller scratch.
+  void transform_strided_batch(cfloat* base, std::size_t count, std::size_t dist,
+                               std::size_t stride, Direction dir,
+                               BatchScratch& scratch) const;
+
+  /// Fused matched-filter convolution of `count` back-to-back series:
+  /// data_b = IFFT(FFT(data_b) * spectrum), with the spectral multiply done
+  /// in SoA form between the two transforms (no extra pass over memory).
+  /// `spectrum` must hold size() elements. Thread-safe with per-caller
+  /// scratch.
+  void convolve_batch(std::span<cfloat> data, std::size_t count,
+                      std::span<const cfloat> spectrum, BatchScratch& scratch) const;
+
+  /// SoA-plane transform of `lanes` independent series: element k of lane l
+  /// at re/im[k * lanes + l]; planes hold size() * lanes floats. This is
+  /// the batched kernel itself — callers that already gather into SoA form
+  /// (e.g. the Doppler filter) use it directly and skip the AoS transpose.
+  /// Thread-safe with per-caller scratch (used only for non-pow2 lengths).
+  void transform_soa(std::span<float> re, std::span<float> im, std::size_t lanes,
+                     Direction dir, BatchScratch& scratch) const;
 
  private:
   void transform_pow2(std::span<cfloat> data, Direction dir) const;
   void transform_bluestein(std::span<cfloat> data, Direction dir) const;
+  void soa_pow2(float* re, float* im, std::size_t lanes, Direction dir) const;
+  void soa_bluestein(float* re, float* im, std::size_t lanes, Direction dir,
+                     BatchScratch& scratch) const;
 
   std::size_t n_;
   bool pow2_;
@@ -65,7 +133,7 @@ class FftPlan {
   std::vector<cfloat> chirp_fft_inv_;
   std::unique_ptr<FftPlan> helper_;      // pow2 plan of length m_
 
-  std::vector<cfloat> scratch_;          // for transform_strided
+  std::vector<cfloat> scratch_;          // legacy transform_strided only
 };
 
 /// One-shot convenience transform (plans internally; prefer FftPlan in loops).

@@ -42,7 +42,7 @@ Mailbox& Comm::my_mailbox() {
   return world_->mailbox(group_[static_cast<std::size_t>(rank_)]);
 }
 
-void Comm::send_bytes(int dest, int tag, std::vector<std::byte> payload) {
+void Comm::send_buffer(int dest, int tag, Buffer payload) {
   PSTAP_REQUIRE(is_member(), "send on a non-member communicator handle");
   PSTAP_REQUIRE(dest >= 0 && dest < size(), "send destination rank out of range");
   PSTAP_REQUIRE(tag >= 0, "user message tags must be >= 0");
@@ -59,7 +59,11 @@ void Comm::send_bytes(int dest, int tag, std::vector<std::byte> payload) {
   world_->mailbox(group_[static_cast<std::size_t>(dest)]).push(std::move(env));
 }
 
-std::vector<std::byte> Comm::recv_bytes(int source, int tag, RecvInfo* info) {
+void Comm::send_bytes(int dest, int tag, std::vector<std::byte> payload) {
+  send_buffer(dest, tag, Buffer::adopt(std::move(payload)));
+}
+
+Buffer Comm::recv_buffer(int source, int tag, RecvInfo* info) {
   PSTAP_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
                 "recv source rank out of range");
   PSTAP_REQUIRE(tag == kAnyTag || tag >= 0, "recv tag must be >= 0 or kAnyTag");
@@ -75,6 +79,10 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag, RecvInfo* info) {
     info->bytes = env.payload.size();
   }
   return std::move(env.payload);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag, RecvInfo* info) {
+  return recv_buffer(source, tag, info).to_vector();
 }
 
 std::optional<std::size_t> Comm::probe(int source, int tag) {
@@ -94,17 +102,17 @@ void Comm::send_internal(int dest, int tag, std::vector<std::byte> payload) {
   env.context = context_ | 1;  // shadow context, invisible to user receives
   env.source = rank_;
   env.tag = tag;
-  env.payload = std::move(payload);
+  env.payload = Buffer::adopt(std::move(payload));
   world_->mailbox(group_[static_cast<std::size_t>(dest)]).push(std::move(env));
 }
 
 std::vector<std::byte> Comm::recv_internal(int source, int tag) {
   Envelope env = my_mailbox().pop_matching(context_ | 1, source, tag);
-  return std::move(env.payload);
+  return std::move(env.payload).to_vector();
 }
 
 Request Comm::irecv_bytes_impl(int source, int tag,
-                               std::function<void(std::vector<std::byte>)> sink) {
+                               std::function<void(Buffer)> sink) {
   PSTAP_REQUIRE(is_member(), "irecv on a non-member communicator handle");
   Comm self = *this;
   return Request([self, source, tag, sink = std::move(sink)](bool block) mutable {

@@ -73,12 +73,33 @@ class Comm {
 
   // ------------------------------------------------------------- raw p2p --
 
+  /// Zero-copy send: takes ownership of the payload handle and deposits it
+  /// in the destination mailbox — no byte is copied at any point. This is
+  /// the hot-path primitive; pair it with BufferPool::acquire so steady
+  /// state does no heap allocation either.
+  void send_buffer(int dest, int tag, Buffer payload);
+
+  /// Zero-copy receive: the returned handle shares the sender's storage.
+  /// Matching and wildcards as recv_bytes.
+  Buffer recv_buffer(int source, int tag, RecvInfo* info = nullptr);
+
+  /// Receive directly into a caller-provided slab (no intermediate vector):
+  /// one memcpy from the matched payload into `out`. Sizes must match
+  /// exactly.
+  template <typename T>
+  void recv_into(int source, int tag, std::span<T> out, RecvInfo* info = nullptr) {
+    const Buffer buf = recv_buffer(source, tag, info);
+    unpack<T>(buf.bytes(), out);
+  }
+
   /// Send a byte payload to `dest` with `tag` (>= 0). Buffered; returns
-  /// as soon as the payload has been deposited.
+  /// as soon as the payload has been deposited. The vector is adopted, not
+  /// copied (one Rep allocation; prefer send_buffer + a pool on hot paths).
   void send_bytes(int dest, int tag, std::vector<std::byte> payload);
 
   /// Blocking receive of the first message matching (source, tag);
-  /// kAnySource / kAnyTag wildcards allowed.
+  /// kAnySource / kAnyTag wildcards allowed. Moves the payload out when it
+  /// was vector-backed and uniquely held; copies otherwise.
   std::vector<std::byte> recv_bytes(int source, int tag, RecvInfo* info = nullptr);
 
   /// Nonblocking probe: payload size of the first matching message, if any.
@@ -101,10 +122,10 @@ class Comm {
   }
 
   /// Receive into a caller-sized buffer; sizes must match exactly.
+  /// (Alias of recv_into — lands bytes directly, no intermediate vector.)
   template <typename T>
   void recv(int source, int tag, std::span<T> out, RecvInfo* info = nullptr) {
-    const auto bytes = recv_bytes(source, tag, info);
-    unpack<T>(bytes, out);
+    recv_into<T>(source, tag, out, info);
   }
 
   /// Receive into a newly allocated vector sized from the message.
@@ -133,8 +154,8 @@ class Comm {
   /// output vector is filled upon completion and must outlive the request.
   template <typename T>
   Request irecv(int source, int tag, std::vector<T>* out) {
-    return irecv_bytes_impl(source, tag, [out](std::vector<std::byte> bytes) {
-      *out = unpack_vector<T>(bytes);
+    return irecv_bytes_impl(source, tag, [out](Buffer payload) {
+      *out = unpack_vector<T>(payload.bytes());
     });
   }
 
@@ -297,7 +318,7 @@ class Comm {
   void send_internal(int dest, int tag, std::vector<std::byte> payload);
   std::vector<std::byte> recv_internal(int source, int tag);
   Request irecv_bytes_impl(int source, int tag,
-                           std::function<void(std::vector<std::byte>)> sink);
+                           std::function<void(Buffer)> sink);
   Mailbox& my_mailbox();
 
   World* world_ = nullptr;

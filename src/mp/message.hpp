@@ -14,6 +14,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/error.hpp"
 
 namespace pstap::mp {
@@ -23,12 +24,20 @@ inline constexpr int kAnySource = -1;
 /// Matches any tag in recv/probe.
 inline constexpr int kAnyTag = -1;
 
-/// Wire envelope: routing metadata plus an owned byte payload.
+/// Refcounted payload handle (see common/buffer.hpp): pooled buffers give
+/// the zero-copy/zero-allocation fast path; adopted vectors cover the
+/// legacy pack()/send_bytes path.
+using Buffer = pstap::Buffer;
+using BufferPool = pstap::BufferPool;
+
+/// Wire envelope: routing metadata plus a shared payload handle. Moving an
+/// envelope moves the handle — the bytes themselves never move or copy
+/// between send and receive.
 struct Envelope {
   std::uint64_t context = 0;  ///< communicator context id
   int source = 0;             ///< sender rank within that communicator
   int tag = 0;                ///< user tag (>= 0)
-  std::vector<std::byte> payload;
+  Buffer payload;
 };
 
 /// Serialize a span of trivially copyable values into bytes.

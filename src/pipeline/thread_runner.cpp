@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <deque>
 #include <optional>
 #include <string>
 #include <thread>
@@ -10,6 +11,7 @@
 
 #include "common/wall_clock.hpp"
 #include "mp/world.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/collective_read.hpp"
 #include "pipeline/partition.hpp"
@@ -87,6 +89,13 @@ struct NodeCtx {
   SharedResults* results = nullptr;
   Supervisor* sup = nullptr;           // non-null when supervised
   ckpt::CheckpointRing* ring = nullptr;  // this rank's checkpoint ring
+  BufferPool* pool = nullptr;          // this rank's payload free list
+
+  /// Pooled payload buffer for `count` cfloat elements: after the first
+  /// CPI warms the free list, acquisition is allocation-free.
+  mp::Buffer payload_for(std::size_t count) const {
+    return pool->acquire_elems<cfloat>(count);
+  }
 
   const stap::RadarParams& params() const { return spec.params; }
   int nodes_of(TaskKind kind) const {
@@ -121,20 +130,26 @@ struct NodeCtx {
 /// logged under the *consumption* CPI so eviction can never outrun a
 /// future replay (the temporal weights edge consumes CPI k-1's message at
 /// CPI k — it is logged under k).
-std::vector<std::byte> recv_logged(const NodeCtx& ctx, int log_cpi, int source,
-                                   int tag) {
-  std::vector<std::byte> bytes;
-  if (ctx.ring != nullptr && ctx.ring->replay_message(log_cpi, tag, source, bytes)) {
-    return bytes;
+mp::Buffer recv_logged(const NodeCtx& ctx, int log_cpi, int source, int tag) {
+  mp::Buffer payload;
+  if (ctx.ring != nullptr &&
+      ctx.ring->replay_message(log_cpi, tag, source, payload)) {
+    return payload;
   }
-  bytes = ctx.world.recv_bytes(source, tag);
-  if (ctx.ring != nullptr) ctx.ring->record_message(log_cpi, tag, source, bytes);
-  return bytes;
+  payload = ctx.world.recv_buffer(source, tag);
+  // The ring shares the refcounted payload — logging copies a handle, not
+  // the bytes.
+  if (ctx.ring != nullptr) ctx.ring->record_message(log_cpi, tag, source, payload);
+  return payload;
 }
 
-std::vector<cfloat> recv_logged_vector(const NodeCtx& ctx, int log_cpi,
-                                       int source, int tag) {
-  return mp::unpack_vector<cfloat>(recv_logged(ctx, log_cpi, source, tag));
+/// Checkpoint-aware receive viewed as cfloat elements. The returned span
+/// aliases `payload`, which must stay alive while it is read.
+std::span<const cfloat> recv_logged_cfloats(const NodeCtx& ctx, int log_cpi,
+                                            int source, int tag,
+                                            mp::Buffer& payload) {
+  payload = recv_logged(ctx, log_cpi, source, tag);
+  return payload.as_span<const cfloat>();
 }
 
 /// Per-CPI phase timing accumulator. Each phase section runs under an
@@ -228,13 +243,16 @@ class PhaseClock {
 /// The (bin-subset, dof, range-slab) slices Doppler nodes ship to BF/WC
 /// nodes: [local bins of the receiver][dof][sender's range window].
 void pack_bin_slab(const stap::BinArray& src, std::size_t bin_lo, std::size_t bin_hi,
-                   std::size_t r_lo, std::size_t r_hi, std::vector<cfloat>& out) {
-  out.clear();
-  out.reserve((bin_hi - bin_lo) * src.dof() * (r_hi - r_lo));
+                   std::size_t r_lo, std::size_t r_hi, std::span<cfloat> out) {
+  PSTAP_CHECK(out.size() == (bin_hi - bin_lo) * src.dof() * (r_hi - r_lo),
+              "bin slab output size mismatch");
+  std::size_t idx = 0;
+  const std::size_t width = r_hi - r_lo;
   for (std::size_t b = bin_lo; b < bin_hi; ++b) {
     for (std::size_t d = 0; d < src.dof(); ++d) {
       const auto row = src.range_series(b, d);
-      out.insert(out.end(), row.begin() + r_lo, row.begin() + r_hi);
+      std::copy(row.begin() + r_lo, row.begin() + r_hi, out.begin() + idx);
+      idx += width;
     }
   }
 }
@@ -295,6 +313,9 @@ class SlabReader {
   /// and surfaced by wait(), so prefetch call sites stay exception-free.
   void start(int cpi) {
     if (empty()) return;
+    // Observable overlap: each double-buffered issue counts here, so runs
+    // can verify the next-CPI read really is in flight during compute.
+    obs::Registry::global().counter("io.slab_reads_started").add(1);
     start_error_[cpi & 1] = nullptr;
     try {
       auto& file = files_[static_cast<std::size_t>(cpi) % files_.size()];
@@ -385,9 +406,15 @@ void run_read_node(NodeCtx& ctx, PhaseClock& clock) {
         const std::size_t lo = std::max(r_lo, theirs.begin(static_cast<std::size_t>(d)));
         const std::size_t hi = std::min(r_hi, theirs.end(static_cast<std::size_t>(d)));
         if (lo >= hi) continue;
-        // File order is range-major, so the intersection is contiguous.
+        // File order is range-major, so the intersection is contiguous:
+        // one copy from the read buffer into a pooled payload, then a
+        // zero-copy send (the read buffer is re-filled next CPI, so the
+        // payload must own its bytes).
         const auto piece = raw.subspan((lo - r_lo) * per_range, (hi - lo) * per_range);
-        ctx.world.send<cfloat>(ctx.rank_of(TaskKind::kDoppler, d), kTagRaw, piece);
+        mp::Buffer payload = ctx.payload_for(piece.size());
+        std::copy(piece.begin(), piece.end(), payload.as_span<cfloat>().begin());
+        ctx.world.send_buffer(ctx.rank_of(TaskKind::kDoppler, d), kTagRaw,
+                              std::move(payload));
       }
     });
     ctx.complete_cpi(cpi);
@@ -479,39 +506,44 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
   auto recv_piece = [&](int cpi, int src, std::size_t lo, std::size_t hi,
                         std::span<cfloat> piece) {
     if (ctx.sup == nullptr) {
-      ctx.world.recv<cfloat>(src, kTagRaw, piece);
+      ctx.world.recv_into<cfloat>(src, kTagRaw, piece);
       return;
     }
-    std::vector<std::byte> bytes;
-    if (ctx.ring->replay_message(cpi, kTagRaw, src, bytes)) {
-      mp::unpack<cfloat>(bytes, piece);
+    mp::Buffer payload;
+    if (ctx.ring->replay_message(cpi, kTagRaw, src, payload)) {
+      mp::unpack<cfloat>(payload.bytes(), piece);
       return;
     }
     for (;;) {
       if (ctx.world.probe(src, kTagRaw)) {
-        bytes = ctx.world.recv_bytes(src, kTagRaw);
-        mp::unpack<cfloat>(bytes, piece);
+        payload = ctx.world.recv_buffer(src, kTagRaw);
+        mp::unpack<cfloat>(payload.bytes(), piece);
         break;
       }
       if (ctx.sup->failed(src) && !ctx.world.probe(src, kTagRaw)) {
         self_read(cpi, lo, hi, piece);
-        bytes = mp::pack(std::span<const cfloat>(piece));
+        payload = ctx.payload_for(piece.size());
+        std::copy(piece.begin(), piece.end(), payload.as_span<cfloat>().begin());
         break;
       }
       if (ctx.sup->aborted()) throw mp::MailboxClosed("supervised run aborting");
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     // Log under the consumption CPI either way: a replay of this CPI must
-    // see the same bytes whether they came off the wire or the disk.
-    ctx.ring->record_message(cpi, kTagRaw, src, bytes);
+    // see the same bytes whether they came off the wire or the disk. The
+    // ring shares the payload handle — no copy.
+    ctx.ring->record_message(cpi, kTagRaw, src, std::move(payload));
   };
 
-  std::vector<cfloat> pack_buf;
+  // Steady-state reuse: the cube, the Doppler output, and the pooled send
+  // payloads all reach a fixed shape after CPI 0, so the loop allocates
+  // nothing on the receive/send path from then on.
+  stap::DataCube cube;
+  stap::DopplerOutput out;
   const int cpi0 = ctx.resume_cpi();
   if (reader && reader->async_capable()) reader->start(cpi0);
   for (int cpi = cpi0; cpi < ctx.opt.cpis; ++cpi) {
     clock.start_cpi(cpi);
-    stap::DataCube cube;
     if (collective) {
       clock.recv([&] {
         auto& file =
@@ -528,7 +560,7 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
         bool dropped = false;
         raw = reader->wait(cpi, &dropped);
         if (dropped) ctx.mark_dropped(cpi);
-        cube = stap::unpack_slab(p, r_lo, r_hi, raw, ctx.opt.file_layout);
+        stap::unpack_slab_into(p, r_lo, r_hi, raw, cube, ctx.opt.file_layout);
       });
       if (cpi + 1 < ctx.opt.cpis && reader->async_capable()) reader->start(cpi + 1);
     } else {
@@ -543,12 +575,11 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
                            .subspan((lo - r_lo) * per_range, (hi - lo) * per_range);
           recv_piece(cpi, ctx.rank_of(TaskKind::kParallelRead, s), lo, hi, piece);
         }
-        cube = stap::unpack_slab(p, r_lo, r_hi, raw_recv);
+        stap::unpack_slab_into(p, r_lo, r_hi, raw_recv, cube);
       });
     }
 
-    stap::DopplerOutput out;
-    clock.comp([&] { out = filter.process(cube); });
+    clock.comp([&] { filter.process_into(cube, out); });
 
     clock.send([&] {
       auto ship = [&](const stap::BinArray& arr, const BlockPartition& part,
@@ -559,11 +590,15 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
           const std::size_t b_lo = part.begin(static_cast<std::size_t>(n));
           const std::size_t b_hi = part.end(static_cast<std::size_t>(n));
           if (b_lo >= b_hi) continue;
-          // Intersect my global range window with [0, send_r_hi).
+          // Intersect my global range window with [0, send_r_hi). The
+          // slice is packed straight into a pooled payload and moved into
+          // the mailbox — one copy total, no allocation at steady state.
           if (r_lo >= send_r_hi) continue;
           const std::size_t local_hi = std::min(r_hi, send_r_hi) - r_lo;
-          pack_bin_slab(arr, b_lo, b_hi, 0, local_hi, pack_buf);
-          ctx.world.send<cfloat>(ctx.rank_of(dest_kind, n), tag, pack_buf);
+          mp::Buffer payload =
+              ctx.payload_for((b_hi - b_lo) * arr.dof() * local_hi);
+          pack_bin_slab(arr, b_lo, b_hi, 0, local_hi, payload.as_span<cfloat>());
+          ctx.world.send_buffer(ctx.rank_of(dest_kind, n), tag, std::move(payload));
         }
       };
       ship(out.easy, part_be, TaskKind::kBeamformEasy, n_be, kTagSpecEasy, p.ranges);
@@ -613,8 +648,9 @@ void run_weights_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
         const std::size_t r_hi =
             std::min(ranges.end(static_cast<std::size_t>(d)), p.training_ranges);
         if (r_lo >= r_hi) continue;
-        const auto msg = recv_logged_vector(
-            ctx, cpi, ctx.rank_of(TaskKind::kDoppler, d), train_tag);
+        mp::Buffer payload;
+        const auto msg = recv_logged_cfloats(
+            ctx, cpi, ctx.rank_of(TaskKind::kDoppler, d), train_tag, payload);
         unpack_bin_slab(training, r_lo, r_hi, msg);
       }
     });
@@ -624,20 +660,23 @@ void run_weights_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
 
     clock.send([&] {
       // Forward each bin's weights to the BF node owning it (temporal edge:
-      // consumed at cpi+1). Group messages per destination.
+      // consumed at cpi+1). Group messages per destination, packed straight
+      // into pooled payloads.
       for (int n = 0; n < n_bf; ++n) {
         const std::size_t lo = std::max(b_lo, bf_part.begin(static_cast<std::size_t>(n)));
         const std::size_t hi = std::min(b_hi, bf_part.end(static_cast<std::size_t>(n)));
         if (lo >= hi) continue;
-        std::vector<cfloat> buf;
-        buf.reserve((hi - lo) * p.beams * dof);
+        mp::Buffer payload = ctx.payload_for((hi - lo) * p.beams * dof);
+        const auto buf = payload.as_span<cfloat>();
+        std::size_t idx = 0;
         for (std::size_t b = lo; b < hi; ++b) {
           for (std::size_t beam = 0; beam < p.beams; ++beam) {
             const auto w = ws.at(b - b_lo, beam);
-            buf.insert(buf.end(), w.begin(), w.end());
+            std::copy(w.begin(), w.end(), buf.begin() + idx);
+            idx += dof;
           }
         }
-        ctx.world.send<cfloat>(ctx.rank_of(bf_kind, n), weight_tag, buf);
+        ctx.world.send_buffer(ctx.rank_of(bf_kind, n), weight_tag, std::move(payload));
       }
     });
     ctx.complete_cpi(cpi);
@@ -693,8 +732,9 @@ void run_beamform_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
         const std::size_t r_lo = ranges.begin(static_cast<std::size_t>(d));
         const std::size_t r_hi = ranges.end(static_cast<std::size_t>(d));
         if (r_lo >= r_hi) continue;
-        const auto msg = recv_logged_vector(
-            ctx, cpi, ctx.rank_of(TaskKind::kDoppler, d), spec_tag);
+        mp::Buffer payload;
+        const auto msg = recv_logged_cfloats(
+            ctx, cpi, ctx.rank_of(TaskKind::kDoppler, d), spec_tag, payload);
         unpack_bin_slab(spectra, r_lo, r_hi, msg);
       }
       // Weights computed from the previous CPI (none at cpi 0). The
@@ -706,8 +746,9 @@ void run_beamform_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
               std::max(b_lo, wc_part.begin(static_cast<std::size_t>(n)));
           const std::size_t hi = std::min(b_hi, wc_part.end(static_cast<std::size_t>(n)));
           if (lo >= hi) continue;
-          const auto msg =
-              recv_logged_vector(ctx, cpi, ctx.rank_of(wc_kind, n), weight_tag);
+          mp::Buffer payload;
+          const auto msg = recv_logged_cfloats(ctx, cpi, ctx.rank_of(wc_kind, n),
+                                               weight_tag, payload);
           PSTAP_CHECK(msg.size() == (hi - lo) * p.beams * dof,
                       "weight message size mismatch");
           std::size_t idx = 0;
@@ -725,18 +766,26 @@ void run_beamform_node(NodeCtx& ctx, PhaseClock& clock, bool hard) {
     clock.comp([&] { out = bf.apply(spectra, current); });
 
     clock.send([&] {
-      // Route each absolute bin's (beams x ranges) block to its PC owner.
+      // Route each absolute bin's (beams x ranges) block to its PC owner,
+      // counting first so the pooled payload is sized exactly.
       for (int n = 0; n < n_pc; ++n) {
-        std::vector<cfloat> buf;
+        std::size_t nbins = 0;
+        for (std::size_t b = 0; b < my_ids.size(); ++b) {
+          if (pc_part.owner(my_ids[b]) == static_cast<std::size_t>(n)) ++nbins;
+        }
+        if (nbins == 0) continue;
+        mp::Buffer payload = ctx.payload_for(nbins * p.beams * p.ranges);
+        const auto buf = payload.as_span<cfloat>();
+        std::size_t idx = 0;
         for (std::size_t b = 0; b < my_ids.size(); ++b) {
           if (pc_part.owner(my_ids[b]) != static_cast<std::size_t>(n)) continue;
           for (std::size_t beam = 0; beam < p.beams; ++beam) {
             const auto row = out.range_series(b, beam);
-            buf.insert(buf.end(), row.begin(), row.end());
+            std::copy(row.begin(), row.end(), buf.begin() + idx);
+            idx += p.ranges;
           }
         }
-        if (buf.empty()) continue;
-        ctx.world.send<cfloat>(ctx.rank_of(pc_kind, n), beam_tag, buf);
+        ctx.world.send_buffer(ctx.rank_of(pc_kind, n), beam_tag, std::move(payload));
       }
     });
     ctx.complete_cpi(cpi);
@@ -765,15 +814,21 @@ RowPlan make_row_plan(const stap::RadarParams& p, const BlockPartition& part,
   return plan;
 }
 
-/// Receive the (bins x beams x ranges) rows this node owns from the BF
-/// (or PC) senders that hold them.
-void receive_rows(NodeCtx& ctx, int cpi, stap::BeamArray& rows, const RowPlan& plan,
-                  TaskKind sender_kind, int tag, bool sender_is_bf_easy,
-                  bool sender_is_bf_hard) {
+/// Static routing of (bins x beams x ranges) rows from a sender task to
+/// this node: per sender, the receiver-local slots of the bins it ships, in
+/// the sender's pack order. Computed once — the per-CPI receive loop then
+/// does no set intersection and no allocation.
+struct RowRoute {
+  TaskKind sender_kind;
+  int tag;
+  std::vector<std::vector<std::size_t>> slots_per_sender;
+};
+
+RowRoute make_row_route(const NodeCtx& ctx, const RowPlan& plan,
+                        TaskKind sender_kind, int tag, bool sender_is_bf_easy,
+                        bool sender_is_bf_hard) {
   const auto& p = ctx.params();
   const int senders = ctx.nodes_of(sender_kind);
-  // Build, per sender, the ascending list of my bins that sender owns; the
-  // sender packs them in the same order.
   const auto easy_ids = p.easy_bins();
   const auto hard_ids = p.hard_bins();
 
@@ -787,37 +842,50 @@ void receive_rows(NodeCtx& ctx, int cpi, stap::BeamArray& rows, const RowPlan& p
     return static_cast<std::size_t>(it - plan.bins.begin());
   };
 
+  RowRoute route{sender_kind, tag, {}};
+  route.slots_per_sender.resize(static_cast<std::size_t>(senders));
   for (int s = 0; s < senders; ++s) {
-    std::vector<std::size_t> from_this_sender;
+    auto& slots = route.slots_per_sender[static_cast<std::size_t>(s)];
     if (sender_is_bf_easy || sender_is_bf_hard) {
       const auto& ids = sender_is_bf_easy ? easy_ids : hard_ids;
       const auto& my = sender_is_bf_easy ? plan.easy_bins : plan.hard_bins;
-      const BlockPartition sp(ids.size(),
-                              static_cast<std::size_t>(ctx.nodes_of(sender_kind)));
+      const BlockPartition sp(ids.size(), static_cast<std::size_t>(senders));
       for (const std::size_t bin : my) {
         if (sp.owner(local_index_of(ids, bin)) == static_cast<std::size_t>(s)) {
-          from_this_sender.push_back(bin);
+          slots.push_back(bin_slot(bin));
         }
       }
     } else {
       // Sender partitions the full bin space (PC -> CFAR).
-      const BlockPartition sp(p.doppler_bins(),
-                              static_cast<std::size_t>(ctx.nodes_of(sender_kind)));
+      const BlockPartition sp(p.doppler_bins(), static_cast<std::size_t>(senders));
       for (const std::size_t bin : plan.bins) {
-        if (sp.owner(bin) == static_cast<std::size_t>(s)) from_this_sender.push_back(bin);
+        if (sp.owner(bin) == static_cast<std::size_t>(s)) slots.push_back(bin_slot(bin));
       }
     }
-    if (from_this_sender.empty()) continue;
-    const auto msg =
-        recv_logged_vector(ctx, cpi, ctx.rank_of(sender_kind, s), tag);
-    PSTAP_CHECK(msg.size() == from_this_sender.size() * p.beams * p.ranges,
+  }
+  return route;
+}
+
+/// Receive this node's rows along a precomputed route; each message is read
+/// in place from the shared payload (no intermediate vector).
+void receive_rows(NodeCtx& ctx, int cpi, stap::BeamArray& rows,
+                  const RowRoute& route) {
+  const auto& p = ctx.params();
+  for (std::size_t s = 0; s < route.slots_per_sender.size(); ++s) {
+    const auto& slots = route.slots_per_sender[s];
+    if (slots.empty()) continue;
+    mp::Buffer payload;
+    const auto msg = recv_logged_cfloats(
+        ctx, cpi, ctx.rank_of(route.sender_kind, static_cast<int>(s)), route.tag,
+        payload);
+    PSTAP_CHECK(msg.size() == slots.size() * p.beams * p.ranges,
                 "row message size mismatch");
     std::size_t idx = 0;
-    for (const std::size_t bin : from_this_sender) {
-      const std::size_t slot = bin_slot(bin);
+    for (const std::size_t slot : slots) {
       for (std::size_t beam = 0; beam < p.beams; ++beam) {
         auto row = rows.range_series(slot, beam);
-        for (std::size_t r = 0; r < p.ranges; ++r) row[r] = msg[idx++];
+        std::copy(msg.begin() + idx, msg.begin() + idx + p.ranges, row.begin());
+        idx += p.ranges;
       }
     }
   }
@@ -830,6 +898,10 @@ void run_pc_node(NodeCtx& ctx, PhaseClock& clock) {
   const BlockPartition mine(p.doppler_bins(), static_cast<std::size_t>(n_pc));
   const BlockPartition cfar_part(p.doppler_bins(), static_cast<std::size_t>(n_cfar));
   const RowPlan plan = make_row_plan(p, mine, ctx.local);
+  const RowRoute easy_route =
+      make_row_route(ctx, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true, false);
+  const RowRoute hard_route =
+      make_row_route(ctx, plan, TaskKind::kBeamformHard, kTagBeamHard, false, true);
 
   stap::PulseCompressor pc(p);
   stap::BeamArray rows(plan.bins.size(), p.beams, p.ranges);
@@ -841,24 +913,30 @@ void run_pc_node(NodeCtx& ctx, PhaseClock& clock) {
       continue;
     }
     clock.recv([&] {
-      receive_rows(ctx, cpi, rows, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true,
-                   false);
-      receive_rows(ctx, cpi, rows, plan, TaskKind::kBeamformHard, kTagBeamHard, false,
-                   true);
+      receive_rows(ctx, cpi, rows, easy_route);
+      receive_rows(ctx, cpi, rows, hard_route);
     });
     clock.comp([&] { pc.compress(rows); });
     clock.send([&] {
       for (int n = 0; n < n_cfar; ++n) {
-        std::vector<cfloat> buf;
+        std::size_t nbins = 0;
+        for (const std::size_t bin : plan.bins) {
+          if (cfar_part.owner(bin) == static_cast<std::size_t>(n)) ++nbins;
+        }
+        if (nbins == 0) continue;
+        mp::Buffer payload = ctx.payload_for(nbins * p.beams * p.ranges);
+        const auto out = payload.as_span<cfloat>();
+        std::size_t idx = 0;
         for (std::size_t b = 0; b < plan.bins.size(); ++b) {
           if (cfar_part.owner(plan.bins[b]) != static_cast<std::size_t>(n)) continue;
           for (std::size_t beam = 0; beam < p.beams; ++beam) {
             const auto row = rows.range_series(b, beam);
-            buf.insert(buf.end(), row.begin(), row.end());
+            std::copy(row.begin(), row.end(), out.begin() + idx);
+            idx += p.ranges;
           }
         }
-        if (buf.empty()) continue;
-        ctx.world.send<cfloat>(ctx.rank_of(TaskKind::kCfar, n), kTagPcOut, buf);
+        ctx.world.send_buffer(ctx.rank_of(TaskKind::kCfar, n), kTagPcOut,
+                              std::move(payload));
       }
     });
     ctx.complete_cpi(cpi);
@@ -870,6 +948,8 @@ void run_cfar_node(NodeCtx& ctx, PhaseClock& clock, int my_world_rank) {
   const int n_cfar = ctx.nodes_of(TaskKind::kCfar);
   const BlockPartition mine(p.doppler_bins(), static_cast<std::size_t>(n_cfar));
   const RowPlan plan = make_row_plan(p, mine, ctx.local);
+  const RowRoute pc_route = make_row_route(ctx, plan, TaskKind::kPulseCompression,
+                                           kTagPcOut, false, false);
 
   stap::CfarDetector cfar(p);
   stap::BeamArray rows(plan.bins.size(), p.beams, p.ranges);
@@ -881,10 +961,7 @@ void run_cfar_node(NodeCtx& ctx, PhaseClock& clock, int my_world_rank) {
       ctx.complete_cpi(cpi);
       continue;
     }
-    clock.recv([&] {
-      receive_rows(ctx, cpi, rows, plan, TaskKind::kPulseCompression, kTagPcOut, false,
-                   false);
-    });
+    clock.recv([&] { receive_rows(ctx, cpi, rows, pc_route); });
     clock.comp([&] {
       auto dets = cfar.detect(rows, plan.bins);
       for (auto& d : dets) d.cpi = static_cast<std::uint64_t>(cpi);
@@ -905,6 +982,10 @@ void run_pccfar_node(NodeCtx& ctx, PhaseClock& clock, int my_world_rank) {
   const int n_pc = ctx.nodes_of(TaskKind::kPulseCompressionCfar);
   const BlockPartition mine(p.doppler_bins(), static_cast<std::size_t>(n_pc));
   const RowPlan plan = make_row_plan(p, mine, ctx.local);
+  const RowRoute easy_route =
+      make_row_route(ctx, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true, false);
+  const RowRoute hard_route =
+      make_row_route(ctx, plan, TaskKind::kBeamformHard, kTagBeamHard, false, true);
 
   stap::PulseCompressor pc(p);
   stap::CfarDetector cfar(p);
@@ -918,10 +999,8 @@ void run_pccfar_node(NodeCtx& ctx, PhaseClock& clock, int my_world_rank) {
       continue;
     }
     clock.recv([&] {
-      receive_rows(ctx, cpi, rows, plan, TaskKind::kBeamformEasy, kTagBeamEasy, true,
-                   false);
-      receive_rows(ctx, cpi, rows, plan, TaskKind::kBeamformHard, kTagBeamHard, false,
-                   true);
+      receive_rows(ctx, cpi, rows, easy_route);
+      receive_rows(ctx, cpi, rows, hard_route);
     });
     clock.comp([&] {
       pc.compress(rows);
@@ -999,6 +1078,11 @@ RunResult ThreadRunner::run() {
   results.detections.resize(static_cast<std::size_t>(total));
   results.dropped.resize(static_cast<std::size_t>(total));
 
+  // Per-rank payload free lists. Declared before the world and supervisor so
+  // every Buffer they still hold (undrained mailboxes, checkpoint rings) is
+  // released before its pool dies. deque: BufferPool is not movable.
+  std::deque<mp::BufferPool> pools(static_cast<std::size_t>(total));
+
   mp::World world(total);
   std::optional<Supervisor> supervisor;
   if (options_.supervise.enabled) {
@@ -1018,6 +1102,7 @@ RunResult ThreadRunner::run() {
   auto node_main = [&](mp::Comm& comm) {
     const auto [task, local] = assign.locate(comm.rank());
     NodeCtx ctx{spec_, options_, assign, comm, fs, task, local, &results};
+    ctx.pool = &pools[static_cast<std::size_t>(comm.rank())];
     if (supervisor) {
       ctx.sup = &*supervisor;
       ctx.ring = &supervisor->ring(comm.rank());

@@ -19,11 +19,14 @@ struct Hit {
 
 /// CA-CFAR over one power series using prefix sums; emits cells whose power
 /// exceeds alpha * mean(training cells). Edge cells use whichever training
-/// cells exist (one-sided near the boundaries).
+/// cells exist (one-sided near the boundaries). `prefix` is caller-owned
+/// scratch (resized here, reused across series).
 void detect_power_series(std::span<const double> power, std::size_t train,
-                         std::size_t guard, double alpha, std::vector<Hit>& hits) {
+                         std::size_t guard, double alpha, std::vector<Hit>& hits,
+                         std::vector<double>& prefix) {
   const std::size_t n = power.size();
-  std::vector<double> prefix(n + 1, 0.0);
+  prefix.resize(n + 1);
+  prefix[0] = 0.0;
   for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + power[i];
   const auto window_sum = [&](std::size_t lo, std::size_t hi) {  // [lo, hi)
     return prefix[hi] - prefix[lo];
@@ -54,7 +57,9 @@ std::vector<std::size_t> CfarDetector::detect_series(
   std::vector<double> power(series.size());
   for (std::size_t i = 0; i < series.size(); ++i) power[i] = std::norm(series[i]);
   std::vector<Hit> hits;
-  detect_power_series(power, params_.cfar_training, params_.cfar_guard, alpha_, hits);
+  std::vector<double> prefix;
+  detect_power_series(power, params_.cfar_training, params_.cfar_guard, alpha_, hits,
+                      prefix);
   std::vector<std::size_t> out;
   out.reserve(hits.size());
   for (const Hit& h : hits) out.push_back(h.range);
@@ -67,6 +72,8 @@ std::vector<Detection> CfarDetector::detect(
   std::vector<Detection> out;
   std::vector<double> power(beams.ranges());
   std::vector<Hit> hits;
+  std::vector<double> prefix;
+  prefix.reserve(beams.ranges() + 1);
 
   for (std::size_t b = 0; b < beams.bins(); ++b) {
     for (std::size_t beam = 0; beam < beams.beams(); ++beam) {
@@ -74,7 +81,7 @@ std::vector<Detection> CfarDetector::detect(
       for (std::size_t r = 0; r < y.size(); ++r) power[r] = std::norm(y[r]);
       hits.clear();
       detect_power_series(power, params_.cfar_training, params_.cfar_guard, alpha_,
-                          hits);
+                          hits, prefix);
       for (const Hit& h : hits) {
         Detection d;
         d.bin = static_cast<std::uint32_t>(bin_ids[b]);

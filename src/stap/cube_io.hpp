@@ -71,6 +71,12 @@ DataCube unpack_slab(const RadarParams& params, std::size_t r0, std::size_t r1,
                      std::span<const cfloat> raw,
                      FileLayout layout = FileLayout::kRangeMajor);
 
+/// Decode into an existing cube, reallocating only when the shape differs —
+/// the steady-state CPI loop reuses one cube allocation per rank.
+void unpack_slab_into(const RadarParams& params, std::size_t r0, std::size_t r1,
+                      std::span<const cfloat> raw, DataCube& cube,
+                      FileLayout layout = FileLayout::kRangeMajor);
+
 /// The paper's round-robin file naming: the radar writes 4 files cyclically
 /// and the pipeline reads them in the same order.
 std::string round_robin_name(std::uint64_t cpi, std::size_t files = 4);

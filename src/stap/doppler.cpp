@@ -1,5 +1,6 @@
 #include "stap/doppler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -14,63 +15,109 @@ DopplerFilter::DopplerFilter(const RadarParams& params)
     window_[0] = 1.0f;
   } else {
     // Hann window, normalized to unit average gain so easy/hard amplitude
-    // comparisons across bins stay calibrated.
-    double sum = 0.0;
+    // comparisons across bins stay calibrated. The Hann samples over
+    // [0, m) with denominator m-1 sum to exactly (m-1)/2, so the
+    // normalization factor is 2m/(m-1) — one pass, no re-normalize.
+    const double step = 2.0 * std::numbers::pi / static_cast<double>(m - 1);
+    const double norm = 2.0 * static_cast<double>(m) / static_cast<double>(m - 1);
     for (std::size_t p = 0; p < m; ++p) {
-      const double w = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
-                                            static_cast<double>(p) /
-                                            static_cast<double>(m - 1));
-      window_[p] = static_cast<float>(w);
-      sum += w;
+      const double w = 0.5 - 0.5 * std::cos(step * static_cast<double>(p));
+      window_[p] = static_cast<float>(norm * w);
     }
-    const float norm = static_cast<float>(static_cast<double>(m) / sum);
-    for (float& w : window_) w *= norm;
   }
+
+  const auto easy_ids = params_.easy_bins();
+  const auto hard_ids = params_.hard_bins();
+  easy_slot_.assign(m, SIZE_MAX);
+  hard_slot_.assign(m, SIZE_MAX);
+  for (std::size_t i = 0; i < easy_ids.size(); ++i) easy_slot_[easy_ids[i]] = i;
+  for (std::size_t i = 0; i < hard_ids.size(); ++i) hard_slot_[hard_ids[i]] = i;
 }
 
 DopplerOutput DopplerFilter::process(const DataCube& cube) const {
+  DopplerOutput out;
+  process_into(cube, out);
+  return out;
+}
+
+void DopplerFilter::process_into(const DataCube& cube, DopplerOutput& out) const {
   PSTAP_REQUIRE(cube.channels() == params_.channels && cube.pulses() == params_.pulses,
                 "cube shape does not match radar parameters");
   const std::size_t m = params_.doppler_bins();
   const std::size_t ch = params_.channels;
   const std::size_t nr = cube.ranges();
 
-  DopplerOutput out;
   out.easy_bin_ids = params_.easy_bins();
   out.hard_bin_ids = params_.hard_bins();
-  out.easy = BinArray(out.easy_bin_ids.size(), params_.easy_dof(), nr);
-  out.hard = BinArray(out.hard_bin_ids.size(), params_.hard_dof(), nr);
+  if (out.easy.bins() != out.easy_bin_ids.size() ||
+      out.easy.dof() != params_.easy_dof() || out.easy.ranges() != nr) {
+    out.easy = BinArray(out.easy_bin_ids.size(), params_.easy_dof(), nr);
+  }
+  if (out.hard.bins() != out.hard_bin_ids.size() ||
+      out.hard.dof() != params_.hard_dof() || out.hard.ranges() != nr) {
+    out.hard = BinArray(out.hard_bin_ids.size(), params_.hard_dof(), nr);
+  }
 
-  // bin -> local index maps (dense over the M-point grid).
-  std::vector<std::size_t> easy_slot(m, SIZE_MAX), hard_slot(m, SIZE_MAX);
-  for (std::size_t i = 0; i < out.easy_bin_ids.size(); ++i)
-    easy_slot[out.easy_bin_ids[i]] = i;
-  for (std::size_t i = 0; i < out.hard_bin_ids.size(); ++i)
-    hard_slot[out.hard_bin_ids[i]] = i;
+  // Lane budget: R adjacent range gates per block, both staggers as lanes
+  // (lane l < R is stagger 0 at gate r0+l, lane R+l is stagger 1), so one
+  // SoA transform covers 2R series.
+  constexpr std::size_t kRangesPerBlock = fft::FftPlan::kBatchLanes / 2;
+  re_.resize(m * 2 * kRangesPerBlock);
+  im_.resize(m * 2 * kRangesPerBlock);
 
-  std::vector<cfloat> s0(m), s1(m);
   for (std::size_t c = 0; c < ch; ++c) {
-    for (std::size_t r = 0; r < nr; ++r) {
-      // Two staggered, windowed sub-apertures.
-      for (std::size_t p = 0; p < m; ++p) {
-        s0[p] = window_[p] * cube.at(c, p, r);
-        s1[p] = window_[p] * cube.at(c, p + 1, r);
-      }
-      plan_.transform(s0, fft::Direction::kForward);
-      plan_.transform(s1, fft::Direction::kForward);
+    for (std::size_t r0 = 0; r0 < nr; r0 += kRangesPerBlock) {
+      const std::size_t R = std::min(kRangesPerBlock, nr - r0);
+      const std::size_t L = 2 * R;
 
+      // Windowed gather: pulse rows of the cube are range-contiguous, so
+      // each plane row is filled from two contiguous strided-float reads.
+      for (std::size_t p = 0; p < m; ++p) {
+        const float w = window_[p];
+        const float* row0 = reinterpret_cast<const float*>(&cube.at(c, p, r0));
+        const float* row1 = reinterpret_cast<const float*>(&cube.at(c, p + 1, r0));
+        float* rk = re_.data() + p * L;
+        float* ik = im_.data() + p * L;
+        for (std::size_t l = 0; l < R; ++l) {
+          rk[l] = w * row0[2 * l];
+          ik[l] = w * row0[2 * l + 1];
+        }
+        for (std::size_t l = 0; l < R; ++l) {
+          rk[R + l] = w * row1[2 * l];
+          ik[R + l] = w * row1[2 * l + 1];
+        }
+      }
+
+      plan_.transform_soa(std::span<float>(re_.data(), m * L),
+                          std::span<float>(im_.data(), m * L), L,
+                          fft::Direction::kForward, scratch_);
+
+      // Route bins: hard bins take both staggers, easy bins stagger 0 only.
       for (std::size_t b = 0; b < m; ++b) {
-        if (hard_slot[b] != SIZE_MAX) {
-          const std::size_t i = hard_slot[b];
-          out.hard.at(i, c, r) = s0[b];
-          out.hard.at(i, ch + c, r) = s1[b];
+        const float* rk = re_.data() + b * L;
+        const float* ik = im_.data() + b * L;
+        if (hard_slot_[b] != SIZE_MAX) {
+          const std::size_t i = hard_slot_[b];
+          float* d0 = reinterpret_cast<float*>(&out.hard.at(i, c, r0));
+          float* d1 = reinterpret_cast<float*>(&out.hard.at(i, ch + c, r0));
+          for (std::size_t l = 0; l < R; ++l) {
+            d0[2 * l] = rk[l];
+            d0[2 * l + 1] = ik[l];
+          }
+          for (std::size_t l = 0; l < R; ++l) {
+            d1[2 * l] = rk[R + l];
+            d1[2 * l + 1] = ik[R + l];
+          }
         } else {
-          out.easy.at(easy_slot[b], c, r) = s0[b];
+          float* d0 = reinterpret_cast<float*>(&out.easy.at(easy_slot_[b], c, r0));
+          for (std::size_t l = 0; l < R; ++l) {
+            d0[2 * l] = rk[l];
+            d0[2 * l + 1] = ik[l];
+          }
         }
       }
     }
   }
-  return out;
 }
 
 }  // namespace pstap::stap

@@ -32,11 +32,11 @@ void PulseCompressor::compress_series(std::span<cfloat> series) const {
 void PulseCompressor::compress(BeamArray& beams) const {
   PSTAP_REQUIRE(beams.ranges() == params_.ranges,
                 "beam array range extent must equal the range window");
-  for (std::size_t b = 0; b < beams.bins(); ++b) {
-    for (std::size_t beam = 0; beam < beams.beams(); ++beam) {
-      compress_series(beams.range_series(b, beam));
-    }
-  }
+  // The (bin, beam) range series are laid out back to back, so the whole
+  // array is one batched matched-filter convolution with the spectral
+  // multiply fused between the SoA transforms.
+  plan_.convolve_batch(beams.flat(), beams.bins() * beams.beams(),
+                       code_spectrum_, scratch_);
 }
 
 }  // namespace pstap::stap

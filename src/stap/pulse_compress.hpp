@@ -21,9 +21,13 @@ class PulseCompressor {
   explicit PulseCompressor(const RadarParams& params);
 
   /// In-place compression along the range dimension of every (bin, beam).
+  /// Batched: all range series run through one fused FFT·spectrum·IFFT
+  /// convolution pass. Keeps per-call scratch — share one PulseCompressor
+  /// per thread.
   void compress(BeamArray& beams) const;
 
-  /// Compress a single range series in place (unit-test hook).
+  /// Compress a single range series in place (unit-test hook / reference
+  /// path; the batched compress() must match it exactly per series).
   void compress_series(std::span<cfloat> series) const;
 
   const std::vector<cfloat>& code() const noexcept { return code_; }
@@ -33,6 +37,7 @@ class PulseCompressor {
   fft::FftPlan plan_;                 // length == ranges
   std::vector<cfloat> code_;          // length pc_code_length
   std::vector<cfloat> code_spectrum_; // conj(FFT(zero-padded code))
+  mutable fft::BatchScratch scratch_; // compress() workspace
 };
 
 }  // namespace pstap::stap

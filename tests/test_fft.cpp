@@ -219,6 +219,88 @@ TEST(Fft, BatchTransformsEachSegment) {
   }
 }
 
+TEST(Fft, BatchMatchesSingleForBluesteinLength) {
+  const std::size_t n = 17, count = 37;  // more lanes than one SoA block
+  auto data = random_signal(n * count, 47);
+  const auto copy = data;
+  FftPlan plan(n);
+  BatchScratch scratch;
+  plan.transform_batch(data, count, Direction::kForward, scratch);
+  for (std::size_t b = 0; b < count; ++b) {
+    std::vector<cfloat> seg(copy.begin() + b * n, copy.begin() + (b + 1) * n);
+    plan.transform(seg, Direction::kForward);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(data[b * n + i] - seg[i]), 0.0, 1e-4)
+          << "series " << b << " element " << i;
+    }
+  }
+}
+
+TEST(Fft, BatchInverseUndoesBatchForward) {
+  for (const std::size_t n : std::vector<std::size_t>{16, 127}) {
+    const std::size_t count = 21;
+    auto data = random_signal(n * count, 53);
+    const auto original = data;
+    FftPlan plan(n);
+    BatchScratch scratch;
+    plan.transform_batch(data, count, Direction::kForward, scratch);
+    plan.transform_batch(data, count, Direction::kInverse, scratch);
+    EXPECT_LT(max_abs_diff(data, original), 1e-4) << "length " << n;
+  }
+}
+
+TEST(Fft, StridedBatchMatchesGatheredTransforms) {
+  // Series l element k at base[l*dist + k*stride]: interleaved layout.
+  const std::size_t n = 16, count = 5, stride = count, dist = 1;
+  auto base = random_signal(n * count, 59);
+  const auto copy = base;
+  FftPlan plan(n);
+  BatchScratch scratch;
+  plan.transform_strided_batch(base.data(), count, dist, stride,
+                               Direction::kForward, scratch);
+  for (std::size_t l = 0; l < count; ++l) {
+    std::vector<cfloat> gathered(n);
+    for (std::size_t k = 0; k < n; ++k) gathered[k] = copy[l * dist + k * stride];
+    plan.transform(gathered, Direction::kForward);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(std::abs(base[l * dist + k * stride] - gathered[k]), 0.0, 1e-5)
+          << "series " << l << " element " << k;
+    }
+  }
+}
+
+TEST(Fft, ConvolveBatchMatchesTransformMultiplyInverse) {
+  const std::size_t n = 32, count = 19;
+  auto spectrum = random_signal(n, 61);
+  auto data = random_signal(n * count, 67);
+  const auto copy = data;
+  FftPlan plan(n);
+  BatchScratch scratch;
+  plan.convolve_batch(data, count, spectrum, scratch);
+  for (std::size_t b = 0; b < count; ++b) {
+    std::vector<cfloat> seg(copy.begin() + b * n, copy.begin() + (b + 1) * n);
+    plan.transform(seg, Direction::kForward);
+    multiply_spectra(seg, spectrum);
+    plan.transform(seg, Direction::kInverse);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(data[b * n + i] - seg[i]), 0.0, 1e-4)
+          << "series " << b << " element " << i;
+    }
+  }
+}
+
+TEST(Fft, CallerScratchStridedOverloadIsConstAndMatchesLegacy) {
+  const std::size_t n = 16, stride = 3;
+  auto a = random_signal(n * stride, 71);
+  auto b = a;
+  FftPlan plan(n);
+  const FftPlan& cplan = plan;  // caller-scratch overload usable via const ref
+  std::vector<cfloat> scratch;
+  cplan.transform_strided(a.data(), stride, Direction::kForward, scratch);
+  plan.transform_strided(b.data(), stride, Direction::kForward);
+  EXPECT_LT(max_abs_diff(a, b), 1e-7);
+}
+
 TEST(Fft, OneShotHelperMatchesPlan) {
   auto x = random_signal(64, 43);
   auto y = x;

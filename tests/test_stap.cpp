@@ -325,6 +325,36 @@ TEST(Doppler, OutputShapesMatchParams) {
   EXPECT_EQ(out.hard.dof(), 2 * p.channels);
 }
 
+TEST(Doppler, ProcessIntoReusesArraysAndMatchesProcess) {
+  const RadarParams p = RadarParams::test_small();
+  SceneGenerator gen(p, SceneConfig{}, 21);
+  DopplerFilter filt(p);
+  const DataCube cube0 = gen.generate(0);
+  const DataCube cube1 = gen.generate(1);
+
+  DopplerOutput reused = filt.process(cube0);
+  const cfloat* easy_storage = reused.easy.flat().data();
+  const cfloat* hard_storage = reused.hard.flat().data();
+
+  filt.process_into(cube1, reused);  // same shapes: must not reallocate
+  EXPECT_EQ(reused.easy.flat().data(), easy_storage);
+  EXPECT_EQ(reused.hard.flat().data(), hard_storage);
+
+  const DopplerOutput fresh = filt.process(cube1);
+  const auto re = reused.easy.flat();
+  const auto fe = fresh.easy.flat();
+  ASSERT_EQ(re.size(), fe.size());
+  for (std::size_t i = 0; i < re.size(); ++i) {
+    EXPECT_NEAR(std::abs(re[i] - fe[i]), 0.0, 1e-5) << "easy element " << i;
+  }
+  const auto rh = reused.hard.flat();
+  const auto fh = fresh.hard.flat();
+  ASSERT_EQ(rh.size(), fh.size());
+  for (std::size_t i = 0; i < rh.size(); ++i) {
+    EXPECT_NEAR(std::abs(rh[i] - fh[i]), 0.0, 1e-5) << "hard element " << i;
+  }
+}
+
 TEST(Doppler, RejectsMismatchedCube) {
   const RadarParams p = RadarParams::test_small();
   DopplerFilter filt(p);
@@ -628,6 +658,37 @@ TEST(PulseCompress, WholeBeamArrayCompression) {
   EXPECT_NEAR(std::abs(beams.at(1, 0, 30)), 1.0, 1e-4);
   // Untouched (bin 0) rows stay zero.
   EXPECT_NEAR(std::abs(beams.at(0, 0, 30)), 0.0, 1e-6);
+}
+
+TEST(PulseCompress, BatchedCompressMatchesPerSeriesReference) {
+  RadarParams p = RadarParams::test_small();
+  PulseCompressor pc(p);
+  Rng rng(77);
+  BeamArray beams(p.doppler_bins(), p.beams, p.ranges);
+  for (auto& v : beams.flat()) v = rng.complex_normal();
+
+  // Reference: the scalar path, one series at a time.
+  std::vector<std::vector<cfloat>> expected;
+  for (std::size_t b = 0; b < beams.bins(); ++b) {
+    for (std::size_t beam = 0; beam < beams.beams(); ++beam) {
+      const auto row = beams.range_series(b, beam);
+      std::vector<cfloat> series(row.begin(), row.end());
+      pc.compress_series(series);
+      expected.push_back(std::move(series));
+    }
+  }
+
+  pc.compress(beams);  // batched fused path
+  std::size_t idx = 0;
+  for (std::size_t b = 0; b < beams.bins(); ++b) {
+    for (std::size_t beam = 0; beam < beams.beams(); ++beam, ++idx) {
+      const auto row = beams.range_series(b, beam);
+      for (std::size_t r = 0; r < p.ranges; ++r) {
+        EXPECT_NEAR(std::abs(row[r] - expected[idx][r]), 0.0, 1e-4)
+            << "bin " << b << " beam " << beam << " range " << r;
+      }
+    }
+  }
 }
 
 TEST(PulseCompress, RejectsWrongLengths) {
