@@ -4,11 +4,15 @@
 // tracked perf baseline; see bench/perf_json.hpp.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "perf_json.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "fft/fft.hpp"
+#include "mp/world.hpp"
+#include "obs/metrics.hpp"
 #include "stap/beamform.hpp"
 #include "stap/cfar.hpp"
 #include "stap/doppler.hpp"
@@ -92,6 +96,10 @@ void BM_FftBluestein(benchmark::State& state) {
     plan.transform(data, fft::Direction::kForward);
     benchmark::DoNotOptimize(data.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(cfloat)));
 }
 BENCHMARK(BM_FftBluestein)->Arg(127)->Arg(1000);
 
@@ -121,6 +129,11 @@ void BM_WeightsEasy(benchmark::State& state) {
     auto ws = wc.compute(out.easy);
     benchmark::DoNotOptimize(ws.flat().data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.easy.samples()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(out.easy.samples() * sizeof(cfloat)));
 }
 BENCHMARK(BM_WeightsEasy);
 
@@ -134,6 +147,11 @@ void BM_WeightsHard(benchmark::State& state) {
     auto ws = wc.compute(out.hard);
     benchmark::DoNotOptimize(ws.flat().data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.hard.samples()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(out.hard.samples() * sizeof(cfloat)));
 }
 BENCHMARK(BM_WeightsHard);
 
@@ -149,6 +167,11 @@ void BM_Beamform(benchmark::State& state) {
     auto y = bf.apply(out.hard, ws);
     benchmark::DoNotOptimize(y.flat().data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.hard.samples()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(out.hard.samples() * sizeof(cfloat)));
 }
 BENCHMARK(BM_Beamform);
 
@@ -201,8 +224,57 @@ void BM_SceneGeneration(benchmark::State& state) {
     auto cube = gen.generate(cpi++);
     benchmark::DoNotOptimize(cube.flat().data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.cube_samples()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.cube_bytes()));
 }
 BENCHMARK(BM_SceneGeneration);
+
+// Strong scaling of the pinned mp::World backend: a fixed pile of batch FFT
+// work (the pipeline's dominant kernel) split evenly across N pinned rank
+// threads. On a machine with >= N cores the time should drop ~linearly with
+// N; the "pinned_ranks" counter records how many ranks the OS actually let
+// us pin. Includes World::run() thread spawn/join, which is the real
+// per-CPI cost the pipeline pays.
+void BM_WorldScaling(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  constexpr std::size_t kN = 256;
+  constexpr std::size_t kCount = 16;
+  constexpr std::size_t kTotalBatches = 64;  // divisible by 1, 2, 4
+  mp::WorldOptions opts;
+  opts.pin_threads = true;
+  mp::World world(ranks, opts);
+  std::vector<fft::FftPlan> plans;
+  plans.reserve(static_cast<std::size_t>(ranks));
+  std::vector<fft::BatchScratch> scratch(static_cast<std::size_t>(ranks));
+  std::vector<std::vector<cfloat>> data(static_cast<std::size_t>(ranks));
+  Rng rng(10);
+  for (int r = 0; r < ranks; ++r) {
+    plans.emplace_back(kN);
+    data[static_cast<std::size_t>(r)].resize(kN * kCount);
+    for (auto& v : data[static_cast<std::size_t>(r)]) v = rng.complex_normal();
+  }
+  const std::size_t per_rank = kTotalBatches / static_cast<std::size_t>(ranks);
+  for (auto _ : state) {
+    world.run([&](mp::Comm& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      for (std::size_t b = 0; b < per_rank; ++b) {
+        plans[r].transform_batch(data[r], kCount, fft::Direction::kForward,
+                                 scratch[r]);
+        benchmark::DoNotOptimize(data[r].data());
+      }
+    });
+  }
+  state.counters["pinned_ranks"] =
+      static_cast<double>(world.pinned_ranks());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTotalBatches * kN * kCount));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kTotalBatches * kN * kCount * sizeof(cfloat)));
+}
+BENCHMARK(BM_WorldScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 /// Console reporter that also captures each run as a PerfRecord for the
 /// JSON baseline dump.
@@ -232,6 +304,16 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Resolve the SIMD backend (honouring PSTAP_SIMD) and set FTZ/DAZ before
+  // any kernel runs — the benches must measure the same float environment
+  // the pipeline's rank threads run in. The printed line is parsed by the
+  // CI perf-smoke job to assert dispatch actually engaged.
+  pstap::simd::init_thread();
+  const auto backend = pstap::simd::active();
+  std::printf("PSTAP SIMD backend: %s (simd.backend=%lld)\n",
+              pstap::simd::backend_name(backend),
+              static_cast<long long>(
+                  pstap::obs::Registry::global().gauge("simd.backend").value()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   std::vector<pstap::bench::PerfRecord> records;

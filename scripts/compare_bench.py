@@ -11,6 +11,12 @@ median ratio across all shared benchmarks, normalize each ratio by it,
 and flag a regression only when a benchmark is more than ``threshold``
 slower than the fleet-wide trend (default 25%).
 
+Bandwidth (bytes_per_second) is gated the same way for benchmarks that
+report it on both sides: a benchmark whose normalized bandwidth drops
+more than ``threshold`` below the bandwidth trend fails. Records with a
+zero/missing bytes_per_second are warned about — they mean the bench
+forgot SetBytesProcessed and is invisible to bandwidth gating.
+
 Exit status: 0 clean, 1 regression found, 2 usage/parse error.
 """
 
@@ -27,13 +33,20 @@ def load(path):
         print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
     records = {}
+    zero_bytes = []
     for rec in doc.get("benchmarks", []):
         name, ns = rec.get("name"), rec.get("ns_per_op", 0)
         if name and ns > 0:
-            records[name] = ns
+            records[name] = (ns, rec.get("bytes_per_second", 0) or 0)
+            if records[name][1] <= 0:
+                zero_bytes.append(name)
     if not records:
         print(f"compare_bench: no usable records in {path}", file=sys.stderr)
         sys.exit(2)
+    if zero_bytes:
+        print(f"WARNING: {len(zero_bytes)} record(s) in {path} report zero "
+              f"bytes_per_second (missing SetBytesProcessed?): "
+              f"{', '.join(sorted(zero_bytes))}")
     return records
 
 
@@ -64,7 +77,7 @@ def main():
         print(f"WARNING: {len(missing)} baseline benchmark(s) missing from "
               f"current run: {', '.join(missing)}")
 
-    ratios = {name: cur[name] / base[name] for name in shared}
+    ratios = {name: cur[name][0] / base[name][0] for name in shared}
     trend = median(ratios.values())
     print(f"machine-speed trend (median current/baseline ratio): {trend:.3f}")
     print(f"{'benchmark':40s} {'base ns':>12s} {'cur ns':>12s} "
@@ -77,8 +90,22 @@ def main():
         if rel > 1.0 + args.threshold:
             flag = "  << REGRESSION"
             failures.append((name, rel))
-        print(f"{name:40s} {base[name]:12.0f} {cur[name]:12.0f} "
+        print(f"{name:40s} {base[name][0]:12.0f} {cur[name][0]:12.0f} "
               f"{ratios[name]:7.3f} {rel:9.3f}{flag}")
+
+    # Bandwidth gate: only benchmarks that report bytes on both sides.
+    banded = [n for n in shared if base[n][1] > 0 and cur[n][1] > 0]
+    if banded:
+        bw_ratios = {n: cur[n][1] / base[n][1] for n in banded}
+        bw_trend = median(bw_ratios.values())
+        print(f"\nbandwidth trend (median current/baseline B/s ratio): "
+              f"{bw_trend:.3f}")
+        for name in banded:
+            rel = bw_ratios[name] / bw_trend
+            if rel < 1.0 / (1.0 + args.threshold):
+                failures.append((name, 1.0 / rel))
+                print(f"{name:40s} bandwidth {rel - 1:+.1%} vs trend"
+                      f"  << REGRESSION")
 
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) more than "

@@ -2,11 +2,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <new>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -14,6 +16,57 @@ namespace pstap {
 
 /// Default alignment: one x86 cache line, also sufficient for AVX-512 loads.
 inline constexpr std::size_t kDefaultAlignment = 64;
+
+/// True when `p` is aligned to `alignment` bytes (a power of two). The SIMD
+/// kernels use this (via PSTAP_REQUIRE / assertions) to verify that the
+/// planes handed to them actually carry the alignment the allocators promise.
+inline bool is_aligned(const void* p,
+                       std::size_t alignment = kDefaultAlignment) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+/// Minimal C++17-style allocator carrying a static over-alignment, so hot
+/// scratch planes can keep std::vector's resize/assign semantics while
+/// guaranteeing SIMD/cache-line alignment (std::vector<float> only promises
+/// alignof(float)).
+template <typename T, std::size_t Alignment = kDefaultAlignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "Alignment below alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes =
+        ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// std::vector whose storage is 64-byte aligned — the container for SoA FFT
+/// planes and kernel scratch that SIMD loads run over.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kDefaultAlignment>>;
 
 /// Owning, aligned, non-initializing array of trivially-destructible T.
 ///

@@ -1,0 +1,887 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PSTAP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define PSTAP_SIMD_X86 0
+#endif
+
+namespace pstap::simd {
+
+// ------------------------------------------------------------- scalar ----
+// Reference semantics. Every vector backend mirrors these expression trees
+// exactly (modulo FMA contraction and reduction order where documented).
+namespace scalar_impl {
+
+void butterfly(float* ar, float* ai, float* br, float* bi, float wr, float wi,
+               std::size_t n) {
+  for (std::size_t l = 0; l < n; ++l) {
+    const float tr = wr * br[l] - wi * bi[l];
+    const float ti = wr * bi[l] + wi * br[l];
+    br[l] = ar[l] - tr;
+    bi[l] = ai[l] - ti;
+    ar[l] += tr;
+    ai[l] += ti;
+  }
+}
+
+void cscale(float* re, float* im, float wr, float wi, std::size_t n) {
+  for (std::size_t l = 0; l < n; ++l) {
+    const float tr = re[l] * wr - im[l] * wi;
+    im[l] = re[l] * wi + im[l] * wr;
+    re[l] = tr;
+  }
+}
+
+void butterfly_rows(float* ar, float* ai, float* br, float* bi, const float* w,
+                    std::size_t rows, std::size_t lanes) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    butterfly(ar + j * lanes, ai + j * lanes, br + j * lanes, bi + j * lanes,
+              w[2 * j], w[2 * j + 1], lanes);
+  }
+}
+
+void butterfly2_rows(float* re, float* im, const float* w1, const float* w2,
+                     std::size_t h, std::size_t lanes) {
+  for (std::size_t j = 0; j < h; ++j) {
+    float* r0 = re + j * lanes;
+    float* i0 = im + j * lanes;
+    float* r1 = r0 + h * lanes;
+    float* i1 = i0 + h * lanes;
+    float* r2 = r1 + h * lanes;
+    float* i2 = i1 + h * lanes;
+    float* r3 = r2 + h * lanes;
+    float* i3 = i2 + h * lanes;
+    butterfly(r0, i0, r1, i1, w1[2 * j], w1[2 * j + 1], lanes);
+    butterfly(r2, i2, r3, i3, w1[2 * j], w1[2 * j + 1], lanes);
+    butterfly(r0, i0, r2, i2, w2[2 * j], w2[2 * j + 1], lanes);
+    butterfly(r1, i1, r3, i3, w2[2 * (j + h)], w2[2 * (j + h) + 1], lanes);
+  }
+}
+
+void cscale_rows(float* re, float* im, const float* w, std::size_t rows,
+                 std::size_t lanes) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    cscale(re + j * lanes, im + j * lanes, w[2 * j], w[2 * j + 1], lanes);
+  }
+}
+
+void cscale_to(float* yr, float* yi, const float* xr, const float* xi, float wr,
+               float wi, std::size_t n) {
+  for (std::size_t l = 0; l < n; ++l) {
+    yr[l] = xr[l] * wr - xi[l] * wi;
+    yi[l] = xr[l] * wi + xi[l] * wr;
+  }
+}
+
+void cscale_rows_to(float* yr, float* yi, const float* xr, const float* xi,
+                    const float* w, std::size_t rows, std::size_t lanes) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    cscale_to(yr + j * lanes, yi + j * lanes, xr + j * lanes, xi + j * lanes,
+              w[2 * j], w[2 * j + 1], lanes);
+  }
+}
+
+void cmul_interleaved(float* a, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float ar = a[2 * i], ai = a[2 * i + 1];
+    const float br = b[2 * i], bi = b[2 * i + 1];
+    a[2 * i] = ar * br - ai * bi;
+    a[2 * i + 1] = ar * bi + ai * br;
+  }
+}
+
+void scale(float* x, float s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void deinterleave_scale(float* re, float* im, const float* src, float w,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = w * src[2 * i];
+    im[i] = w * src[2 * i + 1];
+  }
+}
+
+void interleave(float* dst, const float* re, const float* im, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[2 * i] = re[i];
+    dst[2 * i + 1] = im[i];
+  }
+}
+
+void cmac_conj(float* y, const float* x, float wr, float wi, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float xr = x[2 * i], xi = x[2 * i + 1];
+    y[2 * i] += wr * xr + wi * xi;
+    y[2 * i + 1] += wr * xi - wi * xr;
+  }
+}
+
+// fp-contract is pinned off: at -O3 GCC would otherwise fuse re*re + im*im
+// into an FMA here, silently breaking the bit-exactness contract between
+// this reference and the vector backends (which use separate mul and add).
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("fp-contract=off")))
+#endif
+void norm_interleaved(double* power, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float re = x[2 * i], im = x[2 * i + 1];
+    power[i] = static_cast<double>(re * re + im * im);
+  }
+}
+
+void cdot(const float* x, const float* y, std::size_t n, float* out_re,
+          float* out_im) {
+  float acc_r = 0.0f, acc_i = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float xr = x[2 * i], xi = x[2 * i + 1];
+    const float yr = y[2 * i], yi = y[2 * i + 1];
+    acc_r += xr * yr + xi * yi;
+    acc_i += xr * yi - xi * yr;
+  }
+  *out_re = acc_r;
+  *out_im = acc_i;
+}
+
+constexpr Ops kOps = {
+    .butterfly = butterfly,
+    .butterfly_rows = butterfly_rows,
+    .butterfly2_rows = butterfly2_rows,
+    .cscale = cscale,
+    .cscale_to = cscale_to,
+    .cscale_rows = cscale_rows,
+    .cscale_rows_to = cscale_rows_to,
+    .cmul_interleaved = cmul_interleaved,
+    .scale = scale,
+    .deinterleave_scale = deinterleave_scale,
+    .interleave = interleave,
+    .cmac_conj = cmac_conj,
+    .norm_interleaved = norm_interleaved,
+    .cdot = cdot,
+};
+
+}  // namespace scalar_impl
+
+#if PSTAP_SIMD_X86
+
+// --------------------------------------------------------------- sse2 ----
+// 4-wide __m128 kernels; x86-64 baseline ISA, no target attribute needed.
+namespace sse2_impl {
+
+void butterfly(float* ar, float* ai, float* br, float* bi, float wr, float wi,
+               std::size_t n) {
+  const __m128 vwr = _mm_set1_ps(wr);
+  const __m128 vwi = _mm_set1_ps(wi);
+  std::size_t l = 0;
+  for (; l + 4 <= n; l += 4) {
+    const __m128 vbr = _mm_loadu_ps(br + l);
+    const __m128 vbi = _mm_loadu_ps(bi + l);
+    const __m128 var = _mm_loadu_ps(ar + l);
+    const __m128 vai = _mm_loadu_ps(ai + l);
+    const __m128 tr = _mm_sub_ps(_mm_mul_ps(vwr, vbr), _mm_mul_ps(vwi, vbi));
+    const __m128 ti = _mm_add_ps(_mm_mul_ps(vwr, vbi), _mm_mul_ps(vwi, vbr));
+    _mm_storeu_ps(br + l, _mm_sub_ps(var, tr));
+    _mm_storeu_ps(bi + l, _mm_sub_ps(vai, ti));
+    _mm_storeu_ps(ar + l, _mm_add_ps(var, tr));
+    _mm_storeu_ps(ai + l, _mm_add_ps(vai, ti));
+  }
+  if (l < n) scalar_impl::butterfly(ar + l, ai + l, br + l, bi + l, wr, wi, n - l);
+}
+
+void butterfly_rows(float* ar, float* ai, float* br, float* bi, const float* w,
+                    std::size_t rows, std::size_t lanes) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    butterfly(ar + j * lanes, ai + j * lanes, br + j * lanes, bi + j * lanes,
+              w[2 * j], w[2 * j + 1], lanes);
+  }
+}
+
+void butterfly2_rows(float* re, float* im, const float* w1, const float* w2,
+                     std::size_t h, std::size_t lanes) {
+  for (std::size_t j = 0; j < h; ++j) {
+    float* r0 = re + j * lanes;
+    float* i0 = im + j * lanes;
+    float* r1 = r0 + h * lanes;
+    float* i1 = i0 + h * lanes;
+    float* r2 = r1 + h * lanes;
+    float* i2 = i1 + h * lanes;
+    float* r3 = r2 + h * lanes;
+    float* i3 = i2 + h * lanes;
+    butterfly(r0, i0, r1, i1, w1[2 * j], w1[2 * j + 1], lanes);
+    butterfly(r2, i2, r3, i3, w1[2 * j], w1[2 * j + 1], lanes);
+    butterfly(r0, i0, r2, i2, w2[2 * j], w2[2 * j + 1], lanes);
+    butterfly(r1, i1, r3, i3, w2[2 * (j + h)], w2[2 * (j + h) + 1], lanes);
+  }
+}
+
+void cscale(float* re, float* im, float wr, float wi, std::size_t n) {
+  const __m128 vwr = _mm_set1_ps(wr);
+  const __m128 vwi = _mm_set1_ps(wi);
+  std::size_t l = 0;
+  for (; l + 4 <= n; l += 4) {
+    const __m128 vr = _mm_loadu_ps(re + l);
+    const __m128 vi = _mm_loadu_ps(im + l);
+    _mm_storeu_ps(re + l, _mm_sub_ps(_mm_mul_ps(vr, vwr), _mm_mul_ps(vi, vwi)));
+    _mm_storeu_ps(im + l, _mm_add_ps(_mm_mul_ps(vr, vwi), _mm_mul_ps(vi, vwr)));
+  }
+  if (l < n) scalar_impl::cscale(re + l, im + l, wr, wi, n - l);
+}
+
+void cscale_rows(float* re, float* im, const float* w, std::size_t rows,
+                 std::size_t lanes) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    cscale(re + j * lanes, im + j * lanes, w[2 * j], w[2 * j + 1], lanes);
+  }
+}
+
+void cscale_to(float* yr, float* yi, const float* xr, const float* xi, float wr,
+               float wi, std::size_t n) {
+  const __m128 vwr = _mm_set1_ps(wr);
+  const __m128 vwi = _mm_set1_ps(wi);
+  std::size_t l = 0;
+  for (; l + 4 <= n; l += 4) {
+    const __m128 vr = _mm_loadu_ps(xr + l);
+    const __m128 vi = _mm_loadu_ps(xi + l);
+    _mm_storeu_ps(yr + l, _mm_sub_ps(_mm_mul_ps(vr, vwr), _mm_mul_ps(vi, vwi)));
+    _mm_storeu_ps(yi + l, _mm_add_ps(_mm_mul_ps(vr, vwi), _mm_mul_ps(vi, vwr)));
+  }
+  if (l < n) scalar_impl::cscale_to(yr + l, yi + l, xr + l, xi + l, wr, wi, n - l);
+}
+
+void cscale_rows_to(float* yr, float* yi, const float* xr, const float* xi,
+                    const float* w, std::size_t rows, std::size_t lanes) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    cscale_to(yr + j * lanes, yi + j * lanes, xr + j * lanes, xi + j * lanes,
+              w[2 * j], w[2 * j + 1], lanes);
+  }
+}
+
+void cmul_interleaved(float* a, const float* b, std::size_t n) {
+  // Per pair [ar, ai] * [br, bi]: t1 = a * [br, br]; t2 = swap(a) * [bi, bi];
+  // result = t1 + [-t2_even, +t2_odd].
+  const __m128 negmask = _mm_castsi128_ps(_mm_set_epi32(0, 0x80000000, 0, 0x80000000));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 va = _mm_loadu_ps(a + 2 * i);
+    const __m128 vb = _mm_loadu_ps(b + 2 * i);
+    const __m128 bre = _mm_shuffle_ps(vb, vb, _MM_SHUFFLE(2, 2, 0, 0));
+    const __m128 bim = _mm_shuffle_ps(vb, vb, _MM_SHUFFLE(3, 3, 1, 1));
+    const __m128 asw = _mm_shuffle_ps(va, va, _MM_SHUFFLE(2, 3, 0, 1));
+    const __m128 t2 = _mm_xor_ps(_mm_mul_ps(asw, bim), negmask);
+    _mm_storeu_ps(a + 2 * i, _mm_add_ps(_mm_mul_ps(va, bre), t2));
+  }
+  if (i < n) scalar_impl::cmul_interleaved(a + 2 * i, b + 2 * i, n - i);
+}
+
+void scale(float* x, float s, std::size_t n) {
+  const __m128 vs = _mm_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(x + i, _mm_mul_ps(_mm_loadu_ps(x + i), vs));
+  }
+  if (i < n) scalar_impl::scale(x + i, s, n - i);
+}
+
+void deinterleave_scale(float* re, float* im, const float* src, float w,
+                        std::size_t n) {
+  const __m128 vw = _mm_set1_ps(w);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 v0 = _mm_loadu_ps(src + 2 * i);      // r0 i0 r1 i1
+    const __m128 v1 = _mm_loadu_ps(src + 2 * i + 4);  // r2 i2 r3 i3
+    const __m128 vr = _mm_shuffle_ps(v0, v1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128 vi = _mm_shuffle_ps(v0, v1, _MM_SHUFFLE(3, 1, 3, 1));
+    _mm_storeu_ps(re + i, _mm_mul_ps(vw, vr));
+    _mm_storeu_ps(im + i, _mm_mul_ps(vw, vi));
+  }
+  if (i < n) scalar_impl::deinterleave_scale(re + i, im + i, src + 2 * i, w, n - i);
+}
+
+void interleave(float* dst, const float* re, const float* im, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 vr = _mm_loadu_ps(re + i);
+    const __m128 vi = _mm_loadu_ps(im + i);
+    _mm_storeu_ps(dst + 2 * i, _mm_unpacklo_ps(vr, vi));
+    _mm_storeu_ps(dst + 2 * i + 4, _mm_unpackhi_ps(vr, vi));
+  }
+  if (i < n) scalar_impl::interleave(dst + 2 * i, re + i, im + i, n - i);
+}
+
+void cmac_conj(float* y, const float* x, float wr, float wi, std::size_t n) {
+  // y += wr * x + swap(x) * [wi, -wi, ...]
+  const __m128 vwr = _mm_set1_ps(wr);
+  const __m128 vwp = _mm_set_ps(-wi, wi, -wi, wi);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 vx = _mm_loadu_ps(x + 2 * i);
+    const __m128 vy = _mm_loadu_ps(y + 2 * i);
+    const __m128 xsw = _mm_shuffle_ps(vx, vx, _MM_SHUFFLE(2, 3, 0, 1));
+    const __m128 t = _mm_add_ps(_mm_mul_ps(vwr, vx), _mm_mul_ps(vwp, xsw));
+    _mm_storeu_ps(y + 2 * i, _mm_add_ps(vy, t));
+  }
+  if (i < n) scalar_impl::cmac_conj(y + 2 * i, x + 2 * i, wr, wi, n - i);
+}
+
+void norm_interleaved(double* power, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 v = _mm_loadu_ps(x + 2 * i);
+    const __m128 sq = _mm_mul_ps(v, v);
+    const __m128 sw = _mm_shuffle_ps(sq, sq, _MM_SHUFFLE(2, 3, 0, 1));
+    const __m128 sum = _mm_add_ps(sq, sw);  // norms in lanes 0 and 2
+    const __m128 packed = _mm_shuffle_ps(sum, sum, _MM_SHUFFLE(3, 1, 2, 0));
+    _mm_storeu_pd(power + i, _mm_cvtps_pd(packed));
+  }
+  if (i < n) scalar_impl::norm_interleaved(power + i, x + 2 * i, n - i);
+}
+
+void cdot(const float* x, const float* y, std::size_t n, float* out_re,
+          float* out_im) {
+  // acc (interleaved) += [xr*yr + xi*yi, xr*yi - xi*yr]
+  const __m128 negmask = _mm_castsi128_ps(_mm_set_epi32(0x80000000, 0, 0x80000000, 0));
+  __m128 acc = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 vx = _mm_loadu_ps(x + 2 * i);
+    const __m128 vy = _mm_loadu_ps(y + 2 * i);
+    const __m128 xre = _mm_shuffle_ps(vx, vx, _MM_SHUFFLE(2, 2, 0, 0));
+    const __m128 xim = _mm_shuffle_ps(vx, vx, _MM_SHUFFLE(3, 3, 1, 1));
+    const __m128 ysw = _mm_shuffle_ps(vy, vy, _MM_SHUFFLE(2, 3, 0, 1));
+    const __m128 t2 = _mm_xor_ps(_mm_mul_ps(xim, ysw), negmask);
+    acc = _mm_add_ps(acc, _mm_add_ps(_mm_mul_ps(xre, vy), t2));
+  }
+  alignas(16) float lanes[4];
+  _mm_store_ps(lanes, acc);
+  float acc_r = lanes[0] + lanes[2];
+  float acc_i = lanes[1] + lanes[3];
+  for (; i < n; ++i) {
+    const float xr = x[2 * i], xi = x[2 * i + 1];
+    const float yr = y[2 * i], yi = y[2 * i + 1];
+    acc_r += xr * yr + xi * yi;
+    acc_i += xr * yi - xi * yr;
+  }
+  *out_re = acc_r;
+  *out_im = acc_i;
+}
+
+constexpr Ops kOps = {
+    .butterfly = butterfly,
+    .butterfly_rows = butterfly_rows,
+    .butterfly2_rows = butterfly2_rows,
+    .cscale = cscale,
+    .cscale_to = cscale_to,
+    .cscale_rows = cscale_rows,
+    .cscale_rows_to = cscale_rows_to,
+    .cmul_interleaved = cmul_interleaved,
+    .scale = scale,
+    .deinterleave_scale = deinterleave_scale,
+    .interleave = interleave,
+    .cmac_conj = cmac_conj,
+    .norm_interleaved = norm_interleaved,
+    .cdot = cdot,
+};
+
+}  // namespace sse2_impl
+
+// --------------------------------------------------------------- avx2 ----
+// 8-wide __m256 kernels with FMA. Compiled via per-function target
+// attributes so the rest of the build stays at the baseline ISA; only ever
+// called after a CPUID check.
+namespace avx2_impl {
+
+#define PSTAP_AVX2 __attribute__((target("avx2,fma")))
+
+PSTAP_AVX2 void butterfly(float* ar, float* ai, float* br, float* bi, float wr,
+                          float wi, std::size_t n) {
+  const __m256 vwr = _mm256_set1_ps(wr);
+  const __m256 vwi = _mm256_set1_ps(wi);
+  std::size_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256 vbr = _mm256_loadu_ps(br + l);
+    const __m256 vbi = _mm256_loadu_ps(bi + l);
+    const __m256 var = _mm256_loadu_ps(ar + l);
+    const __m256 vai = _mm256_loadu_ps(ai + l);
+    const __m256 tr = _mm256_fmsub_ps(vwr, vbr, _mm256_mul_ps(vwi, vbi));
+    const __m256 ti = _mm256_fmadd_ps(vwr, vbi, _mm256_mul_ps(vwi, vbr));
+    _mm256_storeu_ps(br + l, _mm256_sub_ps(var, tr));
+    _mm256_storeu_ps(bi + l, _mm256_sub_ps(vai, ti));
+    _mm256_storeu_ps(ar + l, _mm256_add_ps(var, tr));
+    _mm256_storeu_ps(ai + l, _mm256_add_ps(vai, ti));
+  }
+  if (l < n) sse2_impl::butterfly(ar + l, ai + l, br + l, bi + l, wr, wi, n - l);
+}
+
+// Row-batched butterflies with the steady-state lane width (kBatchLanes ==
+// 16 → two 8-wide chunks per plane) fully unrolled: one dispatch per stage
+// block, registers live across the whole row.
+PSTAP_AVX2 void butterfly_rows(float* ar, float* ai, float* br, float* bi,
+                               const float* w, std::size_t rows,
+                               std::size_t lanes) {
+  if (lanes == 16) {
+    for (std::size_t j = 0; j < rows; ++j) {
+      const __m256 vwr = _mm256_set1_ps(w[2 * j]);
+      const __m256 vwi = _mm256_set1_ps(w[2 * j + 1]);
+      float* arj = ar + j * 16;
+      float* aij = ai + j * 16;
+      float* brj = br + j * 16;
+      float* bij = bi + j * 16;
+      for (int half = 0; half < 2; ++half) {
+        const std::size_t o = static_cast<std::size_t>(half) * 8;
+        const __m256 vbr = _mm256_loadu_ps(brj + o);
+        const __m256 vbi = _mm256_loadu_ps(bij + o);
+        const __m256 var = _mm256_loadu_ps(arj + o);
+        const __m256 vai = _mm256_loadu_ps(aij + o);
+        const __m256 tr = _mm256_fmsub_ps(vwr, vbr, _mm256_mul_ps(vwi, vbi));
+        const __m256 ti = _mm256_fmadd_ps(vwr, vbi, _mm256_mul_ps(vwi, vbr));
+        _mm256_storeu_ps(brj + o, _mm256_sub_ps(var, tr));
+        _mm256_storeu_ps(bij + o, _mm256_sub_ps(vai, ti));
+        _mm256_storeu_ps(arj + o, _mm256_add_ps(var, tr));
+        _mm256_storeu_ps(aij + o, _mm256_add_ps(vai, ti));
+      }
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < rows; ++j) {
+    butterfly(ar + j * lanes, ai + j * lanes, br + j * lanes, bi + j * lanes,
+              w[2 * j], w[2 * j + 1], lanes);
+  }
+}
+
+// Fused stage pair: the four rows of each group live in registers across
+// both butterfly levels, so plane traffic is half of two butterfly_rows
+// passes. Expression trees match butterfly exactly — results are
+// bit-identical to running the two stages separately on this backend.
+PSTAP_AVX2 void butterfly2_rows(float* re, float* im, const float* w1,
+                                const float* w2, std::size_t h,
+                                std::size_t lanes) {
+  for (std::size_t j = 0; j < h; ++j) {
+    const __m256 w1r = _mm256_set1_ps(w1[2 * j]);
+    const __m256 w1i = _mm256_set1_ps(w1[2 * j + 1]);
+    const __m256 w2r = _mm256_set1_ps(w2[2 * j]);
+    const __m256 w2i = _mm256_set1_ps(w2[2 * j + 1]);
+    const __m256 w3r = _mm256_set1_ps(w2[2 * (j + h)]);
+    const __m256 w3i = _mm256_set1_ps(w2[2 * (j + h) + 1]);
+    float* r0 = re + j * lanes;
+    float* i0 = im + j * lanes;
+    float* r1 = r0 + h * lanes;
+    float* i1 = i0 + h * lanes;
+    float* r2 = r1 + h * lanes;
+    float* i2 = i1 + h * lanes;
+    float* r3 = r2 + h * lanes;
+    float* i3 = i2 + h * lanes;
+    std::size_t l = 0;
+    for (; l + 8 <= lanes; l += 8) {
+      const __m256 ar = _mm256_loadu_ps(r0 + l);
+      const __m256 ai = _mm256_loadu_ps(i0 + l);
+      const __m256 br = _mm256_loadu_ps(r1 + l);
+      const __m256 bi = _mm256_loadu_ps(i1 + l);
+      const __m256 cr = _mm256_loadu_ps(r2 + l);
+      const __m256 ci = _mm256_loadu_ps(i2 + l);
+      const __m256 dr = _mm256_loadu_ps(r3 + l);
+      const __m256 di = _mm256_loadu_ps(i3 + l);
+      // Stage h: (a, b) and (c, d) with w1.
+      const __m256 t0r = _mm256_fmsub_ps(w1r, br, _mm256_mul_ps(w1i, bi));
+      const __m256 t0i = _mm256_fmadd_ps(w1r, bi, _mm256_mul_ps(w1i, br));
+      const __m256 nar = _mm256_add_ps(ar, t0r);
+      const __m256 nai = _mm256_add_ps(ai, t0i);
+      const __m256 nbr = _mm256_sub_ps(ar, t0r);
+      const __m256 nbi = _mm256_sub_ps(ai, t0i);
+      const __m256 t1r = _mm256_fmsub_ps(w1r, dr, _mm256_mul_ps(w1i, di));
+      const __m256 t1i = _mm256_fmadd_ps(w1r, di, _mm256_mul_ps(w1i, dr));
+      const __m256 ncr = _mm256_add_ps(cr, t1r);
+      const __m256 nci = _mm256_add_ps(ci, t1i);
+      const __m256 ndr = _mm256_sub_ps(cr, t1r);
+      const __m256 ndi = _mm256_sub_ps(ci, t1i);
+      // Stage 2h: (a, c) with w2, (b, d) with w3 = w2 row j + h.
+      const __m256 u0r = _mm256_fmsub_ps(w2r, ncr, _mm256_mul_ps(w2i, nci));
+      const __m256 u0i = _mm256_fmadd_ps(w2r, nci, _mm256_mul_ps(w2i, ncr));
+      _mm256_storeu_ps(r0 + l, _mm256_add_ps(nar, u0r));
+      _mm256_storeu_ps(i0 + l, _mm256_add_ps(nai, u0i));
+      _mm256_storeu_ps(r2 + l, _mm256_sub_ps(nar, u0r));
+      _mm256_storeu_ps(i2 + l, _mm256_sub_ps(nai, u0i));
+      const __m256 u1r = _mm256_fmsub_ps(w3r, ndr, _mm256_mul_ps(w3i, ndi));
+      const __m256 u1i = _mm256_fmadd_ps(w3r, ndi, _mm256_mul_ps(w3i, ndr));
+      _mm256_storeu_ps(r1 + l, _mm256_add_ps(nbr, u1r));
+      _mm256_storeu_ps(i1 + l, _mm256_add_ps(nbi, u1i));
+      _mm256_storeu_ps(r3 + l, _mm256_sub_ps(nbr, u1r));
+      _mm256_storeu_ps(i3 + l, _mm256_sub_ps(nbi, u1i));
+    }
+    if (l < lanes) {
+      const std::size_t rem = lanes - l;
+      sse2_impl::butterfly(r0 + l, i0 + l, r1 + l, i1 + l, w1[2 * j],
+                           w1[2 * j + 1], rem);
+      sse2_impl::butterfly(r2 + l, i2 + l, r3 + l, i3 + l, w1[2 * j],
+                           w1[2 * j + 1], rem);
+      sse2_impl::butterfly(r0 + l, i0 + l, r2 + l, i2 + l, w2[2 * j],
+                           w2[2 * j + 1], rem);
+      sse2_impl::butterfly(r1 + l, i1 + l, r3 + l, i3 + l, w2[2 * (j + h)],
+                           w2[2 * (j + h) + 1], rem);
+    }
+  }
+}
+
+PSTAP_AVX2 void cscale(float* re, float* im, float wr, float wi, std::size_t n) {
+  const __m256 vwr = _mm256_set1_ps(wr);
+  const __m256 vwi = _mm256_set1_ps(wi);
+  std::size_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256 vr = _mm256_loadu_ps(re + l);
+    const __m256 vi = _mm256_loadu_ps(im + l);
+    _mm256_storeu_ps(re + l, _mm256_fmsub_ps(vr, vwr, _mm256_mul_ps(vi, vwi)));
+    _mm256_storeu_ps(im + l, _mm256_fmadd_ps(vr, vwi, _mm256_mul_ps(vi, vwr)));
+  }
+  if (l < n) sse2_impl::cscale(re + l, im + l, wr, wi, n - l);
+}
+
+PSTAP_AVX2 void cscale_to(float* yr, float* yi, const float* xr, const float* xi,
+                          float wr, float wi, std::size_t n) {
+  const __m256 vwr = _mm256_set1_ps(wr);
+  const __m256 vwi = _mm256_set1_ps(wi);
+  std::size_t l = 0;
+  for (; l + 8 <= n; l += 8) {
+    const __m256 vr = _mm256_loadu_ps(xr + l);
+    const __m256 vi = _mm256_loadu_ps(xi + l);
+    _mm256_storeu_ps(yr + l, _mm256_fmsub_ps(vr, vwr, _mm256_mul_ps(vi, vwi)));
+    _mm256_storeu_ps(yi + l, _mm256_fmadd_ps(vr, vwi, _mm256_mul_ps(vi, vwr)));
+  }
+  if (l < n) sse2_impl::cscale_to(yr + l, yi + l, xr + l, xi + l, wr, wi, n - l);
+}
+
+PSTAP_AVX2 void cscale_rows(float* re, float* im, const float* w,
+                            std::size_t rows, std::size_t lanes) {
+  if (lanes == 16) {
+    for (std::size_t j = 0; j < rows; ++j) {
+      const __m256 vwr = _mm256_set1_ps(w[2 * j]);
+      const __m256 vwi = _mm256_set1_ps(w[2 * j + 1]);
+      float* rj = re + j * 16;
+      float* ij = im + j * 16;
+      for (int half = 0; half < 2; ++half) {
+        const std::size_t o = static_cast<std::size_t>(half) * 8;
+        const __m256 vr = _mm256_loadu_ps(rj + o);
+        const __m256 vi = _mm256_loadu_ps(ij + o);
+        _mm256_storeu_ps(rj + o,
+                         _mm256_fmsub_ps(vr, vwr, _mm256_mul_ps(vi, vwi)));
+        _mm256_storeu_ps(ij + o,
+                         _mm256_fmadd_ps(vr, vwi, _mm256_mul_ps(vi, vwr)));
+      }
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < rows; ++j) {
+    cscale(re + j * lanes, im + j * lanes, w[2 * j], w[2 * j + 1], lanes);
+  }
+}
+
+PSTAP_AVX2 void cscale_rows_to(float* yr, float* yi, const float* xr,
+                               const float* xi, const float* w,
+                               std::size_t rows, std::size_t lanes) {
+  if (lanes == 16) {
+    for (std::size_t j = 0; j < rows; ++j) {
+      const __m256 vwr = _mm256_set1_ps(w[2 * j]);
+      const __m256 vwi = _mm256_set1_ps(w[2 * j + 1]);
+      const std::size_t base = j * 16;
+      for (int half = 0; half < 2; ++half) {
+        const std::size_t o = base + static_cast<std::size_t>(half) * 8;
+        const __m256 vr = _mm256_loadu_ps(xr + o);
+        const __m256 vi = _mm256_loadu_ps(xi + o);
+        _mm256_storeu_ps(yr + o,
+                         _mm256_fmsub_ps(vr, vwr, _mm256_mul_ps(vi, vwi)));
+        _mm256_storeu_ps(yi + o,
+                         _mm256_fmadd_ps(vr, vwi, _mm256_mul_ps(vi, vwr)));
+      }
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < rows; ++j) {
+    cscale_to(yr + j * lanes, yi + j * lanes, xr + j * lanes, xi + j * lanes,
+              w[2 * j], w[2 * j + 1], lanes);
+  }
+}
+
+PSTAP_AVX2 void cmul_interleaved(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 va = _mm256_loadu_ps(a + 2 * i);
+    const __m256 vb = _mm256_loadu_ps(b + 2 * i);
+    const __m256 bre = _mm256_moveldup_ps(vb);
+    const __m256 bim = _mm256_movehdup_ps(vb);
+    const __m256 asw = _mm256_permute_ps(va, 0xB1);
+    _mm256_storeu_ps(a + 2 * i,
+                     _mm256_fmaddsub_ps(va, bre, _mm256_mul_ps(asw, bim)));
+  }
+  if (i < n) sse2_impl::cmul_interleaved(a + 2 * i, b + 2 * i, n - i);
+}
+
+PSTAP_AVX2 void scale(float* x, float s, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+  }
+  if (i < n) sse2_impl::scale(x + i, s, n - i);
+}
+
+PSTAP_AVX2 void deinterleave_scale(float* re, float* im, const float* src,
+                                   float w, std::size_t n) {
+  const __m256 vw = _mm256_set1_ps(w);
+  const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // e*: low 128 = 4 reals, high 128 = 4 imags of each 4-complex block.
+    const __m256 e0 = _mm256_permutevar8x32_ps(_mm256_loadu_ps(src + 2 * i), idx);
+    const __m256 e1 =
+        _mm256_permutevar8x32_ps(_mm256_loadu_ps(src + 2 * i + 8), idx);
+    const __m256 vr = _mm256_permute2f128_ps(e0, e1, 0x20);
+    const __m256 vi = _mm256_permute2f128_ps(e0, e1, 0x31);
+    _mm256_storeu_ps(re + i, _mm256_mul_ps(vw, vr));
+    _mm256_storeu_ps(im + i, _mm256_mul_ps(vw, vi));
+  }
+  if (i < n) sse2_impl::deinterleave_scale(re + i, im + i, src + 2 * i, w, n - i);
+}
+
+PSTAP_AVX2 void interleave(float* dst, const float* re, const float* im,
+                           std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vr = _mm256_loadu_ps(re + i);
+    const __m256 vi = _mm256_loadu_ps(im + i);
+    const __m256 lo = _mm256_unpacklo_ps(vr, vi);
+    const __m256 hi = _mm256_unpackhi_ps(vr, vi);
+    _mm256_storeu_ps(dst + 2 * i, _mm256_permute2f128_ps(lo, hi, 0x20));
+    _mm256_storeu_ps(dst + 2 * i + 8, _mm256_permute2f128_ps(lo, hi, 0x31));
+  }
+  if (i < n) sse2_impl::interleave(dst + 2 * i, re + i, im + i, n - i);
+}
+
+PSTAP_AVX2 void cmac_conj(float* y, const float* x, float wr, float wi,
+                          std::size_t n) {
+  const __m256 vwr = _mm256_set1_ps(wr);
+  const __m256 vwp = _mm256_setr_ps(wi, -wi, wi, -wi, wi, -wi, wi, -wi);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 vx = _mm256_loadu_ps(x + 2 * i);
+    const __m256 vy = _mm256_loadu_ps(y + 2 * i);
+    const __m256 xsw = _mm256_permute_ps(vx, 0xB1);
+    const __m256 t = _mm256_fmadd_ps(vwr, vx, _mm256_mul_ps(vwp, xsw));
+    _mm256_storeu_ps(y + 2 * i, _mm256_add_ps(vy, t));
+  }
+  if (i < n) sse2_impl::cmac_conj(y + 2 * i, x + 2 * i, wr, wi, n - i);
+}
+
+PSTAP_AVX2 void norm_interleaved(double* power, const float* x, std::size_t n) {
+  // FMA-free on purpose: must stay bit-exact with the scalar reference.
+  const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 v = _mm256_loadu_ps(x + 2 * i);
+    const __m256 sq = _mm256_mul_ps(v, v);
+    const __m256 sum = _mm256_add_ps(sq, _mm256_permute_ps(sq, 0xB1));
+    const __m256 packed = _mm256_permutevar8x32_ps(sum, idx);
+    _mm256_storeu_pd(power + i, _mm256_cvtps_pd(_mm256_castps256_ps128(packed)));
+  }
+  if (i < n) sse2_impl::norm_interleaved(power + i, x + 2 * i, n - i);
+}
+
+PSTAP_AVX2 void cdot(const float* x, const float* y, std::size_t n,
+                     float* out_re, float* out_im) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 vx = _mm256_loadu_ps(x + 2 * i);
+    const __m256 vy = _mm256_loadu_ps(y + 2 * i);
+    const __m256 xre = _mm256_moveldup_ps(vx);
+    const __m256 xim = _mm256_movehdup_ps(vx);
+    const __m256 ysw = _mm256_permute_ps(vy, 0xB1);
+    // even lanes: xr*yr + xi*yi; odd lanes: xr*yi - xi*yr.
+    acc = _mm256_add_ps(
+        acc, _mm256_fmsubadd_ps(xre, vy, _mm256_mul_ps(xim, ysw)));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  float acc_r = lanes[0] + lanes[2] + lanes[4] + lanes[6];
+  float acc_i = lanes[1] + lanes[3] + lanes[5] + lanes[7];
+  for (; i < n; ++i) {
+    const float xr = x[2 * i], xi = x[2 * i + 1];
+    const float yr = y[2 * i], yi = y[2 * i + 1];
+    acc_r += xr * yr + xi * yi;
+    acc_i += xr * yi - xi * yr;
+  }
+  *out_re = acc_r;
+  *out_im = acc_i;
+}
+
+#undef PSTAP_AVX2
+
+constexpr Ops kOps = {
+    .butterfly = butterfly,
+    .butterfly_rows = butterfly_rows,
+    .butterfly2_rows = butterfly2_rows,
+    .cscale = cscale,
+    .cscale_to = cscale_to,
+    .cscale_rows = cscale_rows,
+    .cscale_rows_to = cscale_rows_to,
+    .cmul_interleaved = cmul_interleaved,
+    .scale = scale,
+    .deinterleave_scale = deinterleave_scale,
+    .interleave = interleave,
+    .cmac_conj = cmac_conj,
+    .norm_interleaved = norm_interleaved,
+    .cdot = cdot,
+};
+
+}  // namespace avx2_impl
+
+#endif  // PSTAP_SIMD_X86
+
+// ----------------------------------------------------------- dispatch ----
+
+namespace {
+
+const Ops* table_for(Backend b) noexcept {
+#if PSTAP_SIMD_X86
+  switch (b) {
+    case Backend::kAvx2:
+      return &avx2_impl::kOps;
+    case Backend::kSse2:
+      return &sse2_impl::kOps;
+    case Backend::kScalar:
+      return &scalar_impl::kOps;
+  }
+#else
+  (void)b;
+#endif
+  return &scalar_impl::kOps;
+}
+
+Backend clamp_supported(Backend b) noexcept {
+  const Backend best = detect_best();
+  return static_cast<int>(b) <= static_cast<int>(best) ? b : best;
+}
+
+void record_backend(Backend b) noexcept {
+  obs::Registry::global().gauge("simd.backend").set(static_cast<int>(b));
+}
+
+std::atomic<const Ops*> g_active_ops{nullptr};
+std::atomic<int> g_active_backend{-1};
+
+Backend resolve_from_env() noexcept {
+  Backend chosen = detect_best();
+  const char* env = std::getenv("PSTAP_SIMD");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    Backend requested = chosen;
+    bool known = true;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = Backend::kScalar;
+    } else if (std::strcmp(env, "sse2") == 0) {
+      requested = Backend::kSse2;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = Backend::kAvx2;
+    } else {
+      known = false;
+      std::fprintf(stderr,
+                   "pstap: PSTAP_SIMD='%s' not recognized "
+                   "(scalar|sse2|avx2|auto); using %s\n",
+                   env, backend_name(chosen));
+    }
+    if (known) {
+      const Backend applied = clamp_supported(requested);
+      if (applied != requested) {
+        std::fprintf(stderr,
+                     "pstap: PSTAP_SIMD=%s unsupported on this CPU; "
+                     "falling back to %s\n",
+                     backend_name(requested), backend_name(applied));
+        obs::Registry::global().counter("simd.requested_unsupported").add();
+      }
+      chosen = applied;
+    }
+  }
+  return chosen;
+}
+
+bool ftz_wanted() noexcept {
+  const char* env = std::getenv("PSTAP_FTZ");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+}  // namespace
+
+bool init_thread() noexcept {
+#if PSTAP_SIMD_X86
+  if (ftz_wanted()) {
+    // MXCSR bits 15 (FTZ) and 6 (DAZ); per-thread state.
+    _mm_setcsr(_mm_getcsr() | 0x8040u);
+    obs::Registry::global().gauge("simd.ftz").set(1);
+    return true;
+  }
+#endif
+  return false;
+}
+
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Backend detect_best() noexcept {
+#if PSTAP_SIMD_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Backend::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse2")) return Backend::kSse2;
+#endif
+  return Backend::kScalar;
+}
+
+Backend active() noexcept {
+  int b = g_active_backend.load(std::memory_order_acquire);
+  if (b < 0) {
+    const Backend resolved = resolve_from_env();
+    // Several threads may race the first resolution; they all compute the
+    // same value, so last-write-wins is fine.
+    g_active_ops.store(table_for(resolved), std::memory_order_release);
+    g_active_backend.store(static_cast<int>(resolved), std::memory_order_release);
+    record_backend(resolved);
+    init_thread();
+    return resolved;
+  }
+  return static_cast<Backend>(b);
+}
+
+const Ops& ops() noexcept {
+  const Ops* t = g_active_ops.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    active();
+    t = g_active_ops.load(std::memory_order_acquire);
+  }
+  return *t;
+}
+
+const Ops& ops(Backend b) noexcept { return *table_for(clamp_supported(b)); }
+
+Backend force_backend(Backend b) noexcept {
+  const Backend applied = clamp_supported(b);
+  g_active_ops.store(table_for(applied), std::memory_order_release);
+  g_active_backend.store(static_cast<int>(applied), std::memory_order_release);
+  record_backend(applied);
+  return applied;
+}
+
+}  // namespace pstap::simd

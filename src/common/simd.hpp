@@ -1,0 +1,143 @@
+// Runtime-dispatched SIMD backend for the STAP hot loops.
+//
+// The compute kernels (FFT butterflies, window/stagger gathers, matched
+// filtering, beamform inner products, CFAR power) all reduce to a small set
+// of float-array primitives. This header exposes those primitives behind a
+// table of function pointers (`Ops`) resolved ONCE at startup from CPUID:
+//
+//   * kScalar — plain C++ loops (the reference semantics; still subject to
+//     the compiler's baseline auto-vectorization, e.g. 4-wide SSE2 on
+//     x86-64);
+//   * kSse2   — explicit 4-wide __m128 kernels;
+//   * kAvx2   — explicit 8-wide __m256 kernels with FMA.
+//
+// Selection: best supported backend by default, overridable with the
+// PSTAP_SIMD environment variable (scalar|sse2|avx2|auto). An unsupported
+// request degrades to the best available backend with a one-time warning.
+// The applied backend is recorded in the obs registry as gauge
+// "simd.backend" (0 = scalar, 1 = sse2, 2 = avx2) so benches and CI can
+// assert the dispatch actually engaged.
+//
+// Numerical contract: every backend computes the same per-element
+// expression trees as the scalar reference. The AVX2 tier contracts
+// mul+add pairs into FMAs inside `butterfly`, `cscale*`, `cmul_*`, `cmac_conj`
+// and `cdot`, so those results may differ from scalar in the last bits
+// (tests compare within tolerance). `norm_interleaved`, `scale`,
+// `deinterleave_scale` and `interleave` are FMA-free and bit-exact with the
+// scalar path on every backend — CFAR threshold comparisons see identical
+// powers no matter which backend ran.
+//
+// Hot callers hoist `const simd::Ops& o = simd::ops();` outside their loops
+// so dispatch costs one indirect call per row, not per element.
+#pragma once
+
+#include <cstddef>
+
+namespace pstap::simd {
+
+enum class Backend : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable backend name ("scalar", "sse2", "avx2").
+const char* backend_name(Backend b) noexcept;
+
+/// Best backend this CPU supports (ignores PSTAP_SIMD).
+Backend detect_best() noexcept;
+
+/// The backend in effect: detect_best() clamped by PSTAP_SIMD, resolved on
+/// first call and cached. Records the obs gauge "simd.backend" and applies
+/// init_thread() on the resolving thread.
+Backend active() noexcept;
+
+/// Apply the per-thread FP environment for DSP kernels to the CALLING
+/// thread: flush-to-zero + denormals-are-zero (x86 MXCSR). Gradual
+/// underflow traps into microcode and costs 10-100x inside the hot loops,
+/// while the signal chain treats subnormal magnitudes (< 1.2e-38) as
+/// silence — flushing them to zero is the standard real-time DSP trade.
+/// Returns true when the mode was applied; a no-op returning false on
+/// non-x86 builds or when PSTAP_FTZ=0. Every mp::World rank thread calls
+/// this at startup; standalone compute threads should do the same. Sets the
+/// obs gauge "simd.ftz" to 1 when applied.
+bool init_thread() noexcept;
+
+/// Primitive kernel table. All sizes are element counts; `n` complex
+/// elements means 2n floats for interleaved arrays. Pointers may be
+/// unaligned (the kernels use unaligned loads); 64-byte-aligned inputs —
+/// see AlignedVector in common/aligned_buffer.hpp — avoid split-line loads.
+struct Ops {
+  /// Radix-2 butterfly row over split re/im planes:
+  /// t = w * b; b = a - t; a = a + t  (complex, w = wr + i*wi broadcast).
+  void (*butterfly)(float* ar, float* ai, float* br, float* bi, float wr,
+                    float wi, std::size_t n);
+  /// Row-batched butterflies: rows j in [0, rows) of `lanes` lanes each,
+  /// a-row j at ar/ai + j*lanes, b-row j at br/bi + j*lanes, twiddle j
+  /// broadcast from the interleaved pair w[2j], w[2j+1]. One dispatch per
+  /// whole stage block instead of per twiddle — the FFT's dominant call.
+  void (*butterfly_rows)(float* ar, float* ai, float* br, float* bi,
+                         const float* w, std::size_t rows, std::size_t lanes);
+  /// Two fused radix-2 stages (h then 2h) over one DIT block of 4h rows
+  /// rooted at re/im (row j is lanes floats at offset j*lanes). For each
+  /// j in [0, h): butterfly (j, j+h) and (j+2h, j+3h) with the stage-h
+  /// twiddle w1[2j], w1[2j+1], then (j, j+2h) with w2[2j], w2[2j+1] and
+  /// (j+h, j+3h) with w2[2(j+h)], w2[2(j+h)+1]. Rows are loaded and stored
+  /// ONCE for both stages — half the plane traffic of two butterfly_rows
+  /// passes. Same per-element expression trees as butterfly, so results
+  /// match two separate stage passes bit-for-bit per backend.
+  void (*butterfly2_rows)(float* re, float* im, const float* w1,
+                          const float* w2, std::size_t h, std::size_t lanes);
+  /// In-place complex scale of split planes by the scalar w = wr + i*wi.
+  void (*cscale)(float* re, float* im, float wr, float wi, std::size_t n);
+  /// Out-of-place complex scale: (yr, yi) = (xr, xi) * (wr + i*wi).
+  void (*cscale_to)(float* yr, float* yi, const float* xr, const float* xi,
+                    float wr, float wi, std::size_t n);
+  /// Row-batched in-place complex scale: row j (lanes wide, at offset
+  /// j*lanes) scaled by the interleaved pair w[2j], w[2j+1]. Used for the
+  /// fused matched-filter spectral multiply and Bluestein kernel rows.
+  void (*cscale_rows)(float* re, float* im, const float* w, std::size_t rows,
+                      std::size_t lanes);
+  /// Row-batched out-of-place complex scale (Bluestein chirp pre/post).
+  void (*cscale_rows_to)(float* yr, float* yi, const float* xr, const float* xi,
+                         const float* w, std::size_t rows, std::size_t lanes);
+  /// Interleaved complex elementwise multiply: a[i] *= b[i] (n complex).
+  void (*cmul_interleaved)(float* a, const float* b, std::size_t n);
+  /// x[i] *= s.
+  void (*scale)(float* x, float s, std::size_t n);
+  /// Windowed deinterleave: re[i] = w * src[2i], im[i] = w * src[2i+1].
+  void (*deinterleave_scale)(float* re, float* im, const float* src, float w,
+                             std::size_t n);
+  /// Interleave split planes: dst[2i] = re[i], dst[2i+1] = im[i].
+  void (*interleave)(float* dst, const float* re, const float* im,
+                     std::size_t n);
+  /// Beamform MAC: y[i] += conj(w) * x[i] over interleaved complex arrays
+  /// (n complex elements, w = wr + i*wi broadcast).
+  void (*cmac_conj)(float* y, const float* x, float wr, float wi,
+                    std::size_t n);
+  /// CFAR power: power[i] = re_i^2 + im_i^2 of interleaved complex input,
+  /// widened to double. FMA-free: bit-exact across backends.
+  void (*norm_interleaved)(double* power, const float* x, std::size_t n);
+  /// Hermitian dot product over interleaved complex arrays:
+  /// (*out_re, *out_im) = sum_i conj(x[i]) * y[i]. Vector backends reorder
+  /// the reduction (lane-wise partial sums), so expect tolerance-level
+  /// differences from scalar.
+  void (*cdot)(const float* x, const float* y, std::size_t n, float* out_re,
+               float* out_im);
+};
+
+/// Kernel table for the active backend (cheap: one relaxed atomic load).
+const Ops& ops() noexcept;
+
+/// Kernel table for a specific backend — the scalar table doubles as the
+/// reference implementation in equivalence tests. Requesting a backend the
+/// CPU lacks returns the best supported table instead.
+const Ops& ops(Backend b) noexcept;
+
+/// Test hook: swap the active backend (clamped to what the CPU supports)
+/// and return what was actually applied. Updates the "simd.backend" gauge.
+/// Not safe to call while kernels are running on other threads — intended
+/// for test setup and benchmark harnesses only.
+Backend force_backend(Backend b) noexcept;
+
+}  // namespace pstap::simd

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/aligned_buffer.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace pstap::fft {
 
@@ -98,6 +100,8 @@ FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
     chirp_[k] = cfloat(static_cast<float>(std::cos(ang)),
                        static_cast<float>(-std::sin(ang)));
   }
+  chirp_conj_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) chirp_conj_[k] = std::conj(chirp_[k]);
   auto build_kernel = [&](bool forward) {
     std::vector<cfloat> b(m_, cfloat{0.0f, 0.0f});
     for (std::size_t k = 0; k < n_; ++k) {
@@ -191,11 +195,14 @@ void FftPlan::transform_strided(cfloat* data, std::size_t stride, Direction dir)
 }
 
 // Lane-parallel radix-2 butterflies over SoA planes. The lane index is the
-// contiguous innermost dimension, so every arithmetic statement in the
-// inner loops is a vectorizable stream op with the twiddle broadcast.
+// contiguous innermost dimension, so each butterfly row is one call into
+// the runtime-dispatched SIMD backend with the twiddle broadcast (see
+// common/simd.hpp; the table is hoisted so dispatch is one indirect call
+// per row, not per element).
 void FftPlan::soa_pow2(float* re, float* im, std::size_t lanes, Direction dir) const {
   const std::size_t n = n_;
   const std::size_t L = lanes;
+  const simd::Ops& vec = simd::ops();
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) {
@@ -209,86 +216,61 @@ void FftPlan::soa_pow2(float* re, float* im, std::size_t lanes, Direction dir) c
   }
   const std::vector<cfloat>& tw =
       dir == Direction::kForward ? twiddle_fwd_ : twiddle_inv_;
-  std::size_t tw_base = 0;
-  for (std::size_t h = 1; h < n; h <<= 1) {
-    for (std::size_t block = 0; block < n; block += 2 * h) {
-      for (std::size_t j = 0; j < h; ++j) {
-        const float wr = tw[tw_base + j].real();
-        const float wi = tw[tw_base + j].imag();
-        float* ar = re + (block + j) * L;
-        float* ai = im + (block + j) * L;
-        float* br = re + (block + j + h) * L;
-        float* bi = im + (block + j + h) * L;
-        for (std::size_t l = 0; l < L; ++l) {
-          const float tr = wr * br[l] - wi * bi[l];
-          const float ti = wr * bi[l] + wi * br[l];
-          br[l] = ar[l] - tr;
-          bi[l] = ai[l] - ti;
-          ar[l] += tr;
-          ai[l] += ti;
-        }
-      }
+  // Stage twiddles for half-block size h start at offset h - 1 (the stages
+  // before it hold 1 + 2 + ... + h/2 = h - 1 entries), and cfloat is
+  // layout-compatible with float[2] — each stage's twiddle run is already
+  // the interleaved (wr, wi) array the row-batched kernels want. Stages are
+  // consumed in fused pairs (h, 2h): one butterfly2_rows dispatch per group
+  // of 4h rows, loading and storing each row once for both levels. An odd
+  // log2(n) leaves one final single stage.
+  std::size_t h = 1;
+  for (; 2 * h < n; h <<= 2) {
+    const float* w1 = reinterpret_cast<const float*>(tw.data() + (h - 1));
+    const float* w2 = reinterpret_cast<const float*>(tw.data() + (2 * h - 1));
+    for (std::size_t block = 0; block < n; block += 4 * h) {
+      vec.butterfly2_rows(re + block * L, im + block * L, w1, w2, h, L);
     }
-    tw_base += h;
+  }
+  if (h < n) {
+    const float* w = reinterpret_cast<const float*>(tw.data() + (h - 1));
+    for (std::size_t block = 0; block < n; block += 2 * h) {
+      vec.butterfly_rows(re + block * L, im + block * L, re + (block + h) * L,
+                         im + (block + h) * L, w, h, L);
+    }
   }
   if (dir == Direction::kInverse) {
     const float inv = 1.0f / static_cast<float>(n);
     const std::size_t total = n * L;
-    for (std::size_t i = 0; i < total; ++i) re[i] *= inv;
-    for (std::size_t i = 0; i < total; ++i) im[i] *= inv;
+    vec.scale(re, inv, total);
+    vec.scale(im, inv, total);
   }
 }
 
-// Bluestein over SoA planes. The per-element chirp/kernel factors become
-// per-row scalar broadcasts; the conjugates are sign flips on the imaginary
-// part, so no std::conj temporaries appear in the lane loops.
+// Bluestein over SoA planes. The per-element chirp/kernel factors are
+// row-batched complex scales: cfloat arrays double as the interleaved
+// (wr, wi) twiddle runs, with the direction's conjugation precomputed in
+// chirp_conj_ so no sign flips appear in the lane loops.
 void FftPlan::soa_bluestein(float* re, float* im, std::size_t lanes, Direction dir,
                             BatchScratch& scratch) const {
   const bool fwd = dir == Direction::kForward;
   const std::size_t L = lanes;
-  const float sign = fwd ? 1.0f : -1.0f;
+  const simd::Ops& vec = simd::ops();
+  const float* chirp_w =
+      reinterpret_cast<const float*>((fwd ? chirp_ : chirp_conj_).data());
   scratch.re2_.assign(m_ * L, 0.0f);
   scratch.im2_.assign(m_ * L, 0.0f);
   float* ar = scratch.re2_.data();
   float* ai = scratch.im2_.data();
-  for (std::size_t k = 0; k < n_; ++k) {
-    const float cr = chirp_[k].real();
-    const float ci = sign * chirp_[k].imag();
-    const float* xr = re + k * L;
-    const float* xi = im + k * L;
-    float* yr = ar + k * L;
-    float* yi = ai + k * L;
-    for (std::size_t l = 0; l < L; ++l) {
-      yr[l] = xr[l] * cr - xi[l] * ci;
-      yi[l] = xr[l] * ci + xi[l] * cr;
-    }
-  }
+  vec.cscale_rows_to(ar, ai, re, im, chirp_w, n_, L);
   helper_->soa_pow2(ar, ai, L, Direction::kForward);
   const std::vector<cfloat>& kernel = fwd ? chirp_fft_fwd_ : chirp_fft_inv_;
-  for (std::size_t i = 0; i < m_; ++i) {
-    const float kr = kernel[i].real();
-    const float ki = kernel[i].imag();
-    float* yr = ar + i * L;
-    float* yi = ai + i * L;
-    for (std::size_t l = 0; l < L; ++l) {
-      const float tr = yr[l] * kr - yi[l] * ki;
-      yi[l] = yr[l] * ki + yi[l] * kr;
-      yr[l] = tr;
-    }
-  }
+  vec.cscale_rows(ar, ai, reinterpret_cast<const float*>(kernel.data()), m_, L);
   helper_->soa_pow2(ar, ai, L, Direction::kInverse);
-  const float post = fwd ? 1.0f : 1.0f / static_cast<float>(n_);
-  for (std::size_t k = 0; k < n_; ++k) {
-    const float cr = chirp_[k].real() * post;
-    const float ci = sign * chirp_[k].imag() * post;
-    const float* yr = ar + k * L;
-    const float* yi = ai + k * L;
-    float* xr = re + k * L;
-    float* xi = im + k * L;
-    for (std::size_t l = 0; l < L; ++l) {
-      xr[l] = yr[l] * cr - yi[l] * ci;
-      xi[l] = yr[l] * ci + yi[l] * cr;
-    }
+  vec.cscale_rows_to(re, im, ar, ai, chirp_w, n_, L);
+  if (!fwd) {
+    const float inv = 1.0f / static_cast<float>(n_);
+    vec.scale(re, inv, n_ * L);
+    vec.scale(im, inv, n_ * L);
   }
 }
 
@@ -325,6 +307,8 @@ void FftPlan::transform_strided_batch(cfloat* base, std::size_t count,
   if (n_ == 1) return;  // length-1 transform is the identity
   scratch.re_.resize(n_ * kBatchLanes);
   scratch.im_.resize(n_ * kBatchLanes);
+  PSTAP_REQUIRE(is_aligned(scratch.re_.data()) && is_aligned(scratch.im_.data()),
+                "SoA scratch planes lost their SIMD alignment");
   for (std::size_t b0 = 0; b0 < count; b0 += kBatchLanes) {
     const std::size_t L = std::min(kBatchLanes, count - b0);
     cfloat* block = base + b0 * dist;
@@ -343,6 +327,8 @@ void FftPlan::convolve_batch(std::span<cfloat> data, std::size_t count,
   if (count == 0 || n_ == 0) return;
   scratch.re_.resize(n_ * kBatchLanes);
   scratch.im_.resize(n_ * kBatchLanes);
+  PSTAP_REQUIRE(is_aligned(scratch.re_.data()) && is_aligned(scratch.im_.data()),
+                "SoA scratch planes lost their SIMD alignment");
   for (std::size_t b0 = 0; b0 < count; b0 += kBatchLanes) {
     const std::size_t L = std::min(kBatchLanes, count - b0);
     cfloat* block = data.data() + b0 * n_;
@@ -351,17 +337,11 @@ void FftPlan::convolve_batch(std::span<cfloat> data, std::size_t count,
     gather_soa(block, n_, n_, 1, L, re, im);
     transform_soa(std::span<float>(re, n_ * L), std::span<float>(im, n_ * L), L,
                   Direction::kForward, scratch);
-    for (std::size_t k = 0; k < n_; ++k) {
-      const float sr = spectrum[k].real();
-      const float si = spectrum[k].imag();
-      float* rk = re + k * L;
-      float* ik = im + k * L;
-      for (std::size_t l = 0; l < L; ++l) {
-        const float tr = rk[l] * sr - ik[l] * si;
-        ik[l] = rk[l] * si + ik[l] * sr;
-        rk[l] = tr;
-      }
-    }
+    // Fused matched-filter multiply: one row-batched SIMD complex scale over
+    // the whole spectrum (cfloat doubles as the interleaved w array).
+    simd::ops().cscale_rows(re, im,
+                            reinterpret_cast<const float*>(spectrum.data()),
+                            n_, L);
     transform_soa(std::span<float>(re, n_ * L), std::span<float>(im, n_ * L), L,
                   Direction::kInverse, scratch);
     scatter_soa(block, n_, n_, 1, L, re, im);
@@ -375,7 +355,11 @@ void transform(std::span<cfloat> data, Direction dir) {
 
 void multiply_spectra(std::span<cfloat> a, std::span<const cfloat> b) {
   PSTAP_REQUIRE(a.size() == b.size(), "spectra size mismatch");
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+  // std::complex<float> is layout-compatible with float[2]; the matched
+  // filter's per-series multiply runs through the SIMD backend.
+  simd::ops().cmul_interleaved(reinterpret_cast<float*>(a.data()),
+                               reinterpret_cast<const float*>(b.data()),
+                               a.size());
 }
 
 }  // namespace pstap::fft

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned_buffer.hpp"
 #include "common/types.hpp"
 
 namespace pstap::fft {
@@ -45,8 +46,10 @@ class BatchScratch {
 
  private:
   friend class FftPlan;
-  std::vector<float> re_, im_;    // primary SoA planes (n × lanes)
-  std::vector<float> re2_, im2_;  // Bluestein convolution planes (m × lanes)
+  // 64-byte-aligned planes: the SIMD butterflies and twiddle kernels run
+  // straight over these, so rows never straddle cache lines gratuitously.
+  AlignedVector<float> re_, im_;    // primary SoA planes (n × lanes)
+  AlignedVector<float> re2_, im2_;  // Bluestein convolution planes (m × lanes)
 };
 
 /// A planned complex-to-complex FFT of fixed length.
@@ -129,6 +132,7 @@ class FftPlan {
   // Bluestein machinery (for pow2_ == false).
   std::size_t m_ = 0;                    // convolution length (power of two >= 2n-1)
   std::vector<cfloat> chirp_;            // a_k = exp(-i pi k^2 / n)
+  std::vector<cfloat> chirp_conj_;       // conj(a_k): inverse-direction chirp
   std::vector<cfloat> chirp_fft_fwd_;    // FFT of zero-padded conjugate chirp
   std::vector<cfloat> chirp_fft_inv_;
   std::unique_ptr<FftPlan> helper_;      // pow2 plan of length m_

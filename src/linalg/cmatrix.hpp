@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace pstap::linalg {
@@ -111,12 +112,33 @@ std::complex<T> cdot(std::span<const std::complex<T>> x,
   return acc;
 }
 
+/// Single-precision overload: runs through the runtime-dispatched SIMD
+/// backend (lane-wise partial sums, so the reduction order differs from the
+/// scalar template at tolerance level).
+inline std::complex<float> cdot(std::span<const std::complex<float>> x,
+                                std::span<const std::complex<float>> y) {
+  PSTAP_REQUIRE(x.size() == y.size(), "cdot size mismatch");
+  float re = 0.0f, im = 0.0f;
+  simd::ops().cdot(reinterpret_cast<const float*>(x.data()),
+                   reinterpret_cast<const float*>(y.data()), x.size(), &re, &im);
+  return {re, im};
+}
+
 /// Squared 2-norm.
 template <typename T>
 T norm2_sq(std::span<const std::complex<T>> x) {
   T acc{};
   for (const auto& v : x) acc += std::norm(v);
   return acc;
+}
+
+/// Single-precision overload: <x, x> through the SIMD backend (the
+/// imaginary part cancels exactly lane-by-lane).
+inline float norm2_sq(std::span<const std::complex<float>> x) {
+  float re = 0.0f, im = 0.0f;
+  const float* p = reinterpret_cast<const float*>(x.data());
+  simd::ops().cdot(p, p, x.size(), &re, &im);
+  return re;
 }
 
 }  // namespace pstap::linalg

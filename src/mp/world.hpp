@@ -15,10 +15,38 @@
 
 namespace pstap::mp {
 
+/// Execution placement for a World's rank threads.
+///
+/// Pinned mode fixes each rank to one hardware CPU so the OS scheduler
+/// cannot migrate ranks mid-CPI (migrations cost cold caches and — on
+/// multi-socket boxes — remote-memory traffic on every pool buffer the rank
+/// first-touched elsewhere). Rank r is pinned to cpu_set[r % cpu_set.size()].
+/// Placement is best-effort by design: a cpu that cannot be pinned (bad id,
+/// restrictive cgroup mask, non-Linux host) logs one warning and leaves that
+/// rank floating rather than failing the run, and more ranks than cpus is
+/// legal oversubscription — it logs once and wraps round-robin. The applied
+/// state is observable: gauge "mp.pinned_ranks" counts ranks pinned in the
+/// latest run(), counter "mp.pin.oversubscribed" counts oversubscribed
+/// runs, counter "mp.pin.failed" counts failed pin attempts.
+struct WorldOptions {
+  /// Pin each rank thread to a hardware CPU.
+  bool pin_threads = false;
+  /// CPUs to pin to, in rank order. Empty = all cpus [0, hardware
+  /// concurrency) — the natural "one rank per core" layout.
+  std::vector<int> cpu_set;
+  /// Ask for NUMA-interleaved rank memory. There is no NUMA allocation API
+  /// in the build (no libnuma dependency), so this is satisfied by the
+  /// first-touch policy already in place: BufferPool::acquire hands out
+  /// uninitialized pages, so each rank's buffers fault into the node of the
+  /// cpu the rank is pinned to. The flag exists so callers can state intent;
+  /// it logs the fallback once when set.
+  bool numa_interleave = false;
+};
+
 class World {
  public:
   /// Create a world of `size` ranks (>= 1). No threads run until run().
-  explicit World(int size);
+  explicit World(int size, WorldOptions options = {});
   ~World();
 
   World(const World&) = delete;
@@ -50,8 +78,17 @@ class World {
   /// Reopen every mailbox (e.g. between runs in one World).
   void reopen_all_mailboxes();
 
+  const WorldOptions& options() const noexcept { return options_; }
+
+  /// Ranks successfully pinned by the most recent run() (0 when pinning is
+  /// off). Mirrors the "mp.pinned_ranks" gauge for direct inspection.
+  int pinned_ranks() const noexcept { return pinned_ranks_; }
+
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  WorldOptions options_;
+  std::vector<int> resolved_cpus_;  // cpu_set with the empty default filled in
+  int pinned_ranks_ = 0;
 };
 
 }  // namespace pstap::mp

@@ -1083,7 +1083,7 @@ RunResult ThreadRunner::run() {
   // released before its pool dies. deque: BufferPool is not movable.
   std::deque<mp::BufferPool> pools(static_cast<std::size_t>(total));
 
-  mp::World world(total);
+  mp::World world(total, options_.world);
   std::optional<Supervisor> supervisor;
   if (options_.supervise.enabled) {
     supervisor.emplace(world, total, options_.supervise);

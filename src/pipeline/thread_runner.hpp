@@ -20,6 +20,7 @@
 
 #include "common/fault.hpp"
 #include "common/retry.hpp"
+#include "mp/world.hpp"
 #include "pfs/striped_file_system.hpp"
 #include "pipeline/metrics.hpp"
 #include "pipeline/supervisor.hpp"
@@ -82,6 +83,10 @@ struct RunOptions {
   /// it here. Empty: the PSTAP_TRACE environment variable is consulted;
   /// unset leaves tracing off (one relaxed load per would-be event).
   std::filesystem::path trace_path;
+
+  /// Rank-thread placement (thread pinning, NUMA intent) passed straight to
+  /// the mp::World backing the run. Default: unpinned, as before.
+  mp::WorldOptions world;
 
   RunOptions() : fs_config(pfs::paragon_pfs(4)) {}
 };

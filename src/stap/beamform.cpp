@@ -1,5 +1,7 @@
 #include "stap/beamform.hpp"
 
+#include "common/simd.hpp"
+
 namespace pstap::stap {
 
 BeamArray Beamformer::apply(const BinArray& spectra, const WeightSet& weights) const {
@@ -12,15 +14,18 @@ BeamArray Beamformer::apply(const BinArray& spectra, const WeightSet& weights) c
   const std::size_t nr = spectra.ranges();
   BeamArray out(bins, params_.beams, nr);
 
+  const simd::Ops& vec = simd::ops();
   for (std::size_t b = 0; b < bins; ++b) {
     for (std::size_t beam = 0; beam < params_.beams; ++beam) {
       const auto w = weights.at(b, beam);
       auto y = out.range_series(b, beam);
-      // Accumulate conj(w_d) * x_d over DOF, vectorizing along range.
+      // Accumulate conj(w_d) * x_d over DOF: one SIMD complex MAC along the
+      // range dimension per DOF (the weight is the broadcast scalar).
       for (std::size_t d = 0; d < dof; ++d) {
-        const cfloat wc = std::conj(w[d]);
         const auto x = spectra.range_series(b, d);
-        for (std::size_t r = 0; r < nr; ++r) y[r] += wc * x[r];
+        vec.cmac_conj(reinterpret_cast<float*>(y.data()),
+                      reinterpret_cast<const float*>(x.data()), w[d].real(),
+                      w[d].imag(), nr);
       }
     }
   }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/simd.hpp"
+
 namespace pstap::stap {
 
 CfarDetector::CfarDetector(const RadarParams& params) : params_(params) {
@@ -55,7 +57,11 @@ void detect_power_series(std::span<const double> power, std::size_t train,
 std::vector<std::size_t> CfarDetector::detect_series(
     std::span<const cfloat> series) const {
   std::vector<double> power(series.size());
-  for (std::size_t i = 0; i < series.size(); ++i) power[i] = std::norm(series[i]);
+  // SIMD power pass; norm_interleaved is FMA-free, so thresholds see
+  // bit-identical powers on every backend.
+  simd::ops().norm_interleaved(power.data(),
+                               reinterpret_cast<const float*>(series.data()),
+                               series.size());
   std::vector<Hit> hits;
   std::vector<double> prefix;
   detect_power_series(power, params_.cfar_training, params_.cfar_guard, alpha_, hits,
@@ -75,10 +81,12 @@ std::vector<Detection> CfarDetector::detect(
   std::vector<double> prefix;
   prefix.reserve(beams.ranges() + 1);
 
+  const simd::Ops& vec = simd::ops();
   for (std::size_t b = 0; b < beams.bins(); ++b) {
     for (std::size_t beam = 0; beam < beams.beams(); ++beam) {
       const auto y = beams.range_series(b, beam);
-      for (std::size_t r = 0; r < y.size(); ++r) power[r] = std::norm(y[r]);
+      vec.norm_interleaved(power.data(),
+                           reinterpret_cast<const float*>(y.data()), y.size());
       hits.clear();
       detect_power_series(power, params_.cfar_training, params_.cfar_guard, alpha_,
                           hits, prefix);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/simd.hpp"
+
 namespace pstap::stap {
 
 DopplerFilter::DopplerFilter(const RadarParams& params)
@@ -60,8 +62,11 @@ void DopplerFilter::process_into(const DataCube& cube, DopplerOutput& out) const
 
   // Lane budget: R adjacent range gates per block, both staggers as lanes
   // (lane l < R is stagger 0 at gate r0+l, lane R+l is stagger 1), so one
-  // SoA transform covers 2R series.
-  constexpr std::size_t kRangesPerBlock = fft::FftPlan::kBatchLanes / 2;
+  // SoA transform covers 2R series. Doppler FFTs are short (m = pulses - 1),
+  // so the block is kept much wider than kBatchLanes: the SoA planes stay
+  // small (m * 2R floats) while every SIMD call runs long enough to amortize
+  // its dispatch. 2R = 64 lanes -> 8 AVX2 iterations per butterfly row.
+  constexpr std::size_t kRangesPerBlock = 32;
   re_.resize(m * 2 * kRangesPerBlock);
   im_.resize(m * 2 * kRangesPerBlock);
 
@@ -71,21 +76,17 @@ void DopplerFilter::process_into(const DataCube& cube, DopplerOutput& out) const
       const std::size_t L = 2 * R;
 
       // Windowed gather: pulse rows of the cube are range-contiguous, so
-      // each plane row is filled from two contiguous strided-float reads.
+      // each plane row is two SIMD deinterleave+window passes (one per
+      // stagger) over contiguous complex data.
+      const simd::Ops& vec = simd::ops();
       for (std::size_t p = 0; p < m; ++p) {
         const float w = window_[p];
         const float* row0 = reinterpret_cast<const float*>(&cube.at(c, p, r0));
         const float* row1 = reinterpret_cast<const float*>(&cube.at(c, p + 1, r0));
         float* rk = re_.data() + p * L;
         float* ik = im_.data() + p * L;
-        for (std::size_t l = 0; l < R; ++l) {
-          rk[l] = w * row0[2 * l];
-          ik[l] = w * row0[2 * l + 1];
-        }
-        for (std::size_t l = 0; l < R; ++l) {
-          rk[R + l] = w * row1[2 * l];
-          ik[R + l] = w * row1[2 * l + 1];
-        }
+        vec.deinterleave_scale(rk, ik, row0, w, R);
+        vec.deinterleave_scale(rk + R, ik + R, row1, w, R);
       }
 
       plan_.transform_soa(std::span<float>(re_.data(), m * L),
@@ -93,6 +94,7 @@ void DopplerFilter::process_into(const DataCube& cube, DopplerOutput& out) const
                           fft::Direction::kForward, scratch_);
 
       // Route bins: hard bins take both staggers, easy bins stagger 0 only.
+      // Each route is one SIMD re-interleave of a plane row into the output.
       for (std::size_t b = 0; b < m; ++b) {
         const float* rk = re_.data() + b * L;
         const float* ik = im_.data() + b * L;
@@ -100,20 +102,11 @@ void DopplerFilter::process_into(const DataCube& cube, DopplerOutput& out) const
           const std::size_t i = hard_slot_[b];
           float* d0 = reinterpret_cast<float*>(&out.hard.at(i, c, r0));
           float* d1 = reinterpret_cast<float*>(&out.hard.at(i, ch + c, r0));
-          for (std::size_t l = 0; l < R; ++l) {
-            d0[2 * l] = rk[l];
-            d0[2 * l + 1] = ik[l];
-          }
-          for (std::size_t l = 0; l < R; ++l) {
-            d1[2 * l] = rk[R + l];
-            d1[2 * l + 1] = ik[R + l];
-          }
+          vec.interleave(d0, rk, ik, R);
+          vec.interleave(d1, rk + R, ik + R, R);
         } else {
           float* d0 = reinterpret_cast<float*>(&out.easy.at(easy_slot_[b], c, r0));
-          for (std::size_t l = 0; l < R; ++l) {
-            d0[2 * l] = rk[l];
-            d0[2 * l + 1] = ik[l];
-          }
+          vec.interleave(d0, rk, ik, R);
         }
       }
     }

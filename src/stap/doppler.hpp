@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "common/aligned_buffer.hpp"
 #include "fft/fft.hpp"
 #include "stap/data_cube.hpp"
 #include "stap/radar_params.hpp"
@@ -54,8 +55,9 @@ class DopplerFilter {
   std::vector<std::size_t> easy_slot_;
   std::vector<std::size_t> hard_slot_;
 
-  // Per-instance transform workspace (grown once, then reused).
-  mutable std::vector<float> re_, im_;  // SoA planes, M x kBatchLanes
+  // Per-instance transform workspace (grown once, then reused). Aligned so
+  // the SIMD butterflies never split cache lines.
+  mutable AlignedVector<float> re_, im_;  // SoA planes, M x kBatchLanes
   mutable fft::BatchScratch scratch_;
 };
 

@@ -6,12 +6,18 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "mp/comm.hpp"
 #include "mp/world.hpp"
+#include "obs/metrics.hpp"
 
 namespace pstap::mp {
 namespace {
@@ -680,6 +686,75 @@ TEST(Mp, ReopenRestoresBlockingReceives) {
       EXPECT_EQ(comm.recv_value<int>(0, 3), 5);
     }
   });
+}
+
+// -------------------------------------------------------------- pinned --
+
+#if defined(__linux__)
+TEST(MpPinned, RanksRunOnTheirAssignedCpus) {
+  WorldOptions opts;
+  opts.pin_threads = true;
+  World world(2, opts);
+  std::vector<int> observed(2, -1);
+  world.run([&](Comm& comm) {
+    observed[static_cast<std::size_t>(comm.rank())] = sched_getcpu();
+    // Ranks still communicate normally while pinned.
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 11);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 11);
+    }
+  });
+  const unsigned hc = std::thread::hardware_concurrency();
+  EXPECT_EQ(world.pinned_ranks(), 2);
+  EXPECT_EQ(obs::Registry::global().gauge("mp.pinned_ranks").value(), 2);
+  for (int r = 0; r < 2; ++r) {
+    ASSERT_GE(observed[static_cast<std::size_t>(r)], 0);
+    // Rank r is pinned to cpu r % hc (default cpu_set is all cpus).
+    EXPECT_EQ(observed[static_cast<std::size_t>(r)],
+              static_cast<int>(static_cast<unsigned>(r) % hc));
+  }
+}
+
+TEST(MpPinned, ExplicitCpuSetWrapsRoundRobin) {
+  WorldOptions opts;
+  opts.pin_threads = true;
+  opts.cpu_set = {0};
+  World world(3, opts);  // oversubscribed on purpose: 3 ranks, 1 cpu
+  std::vector<int> observed(3, -1);
+  world.run([&](Comm& comm) {
+    observed[static_cast<std::size_t>(comm.rank())] = sched_getcpu();
+  });
+  EXPECT_EQ(world.pinned_ranks(), 3);
+  for (int c : observed) EXPECT_EQ(c, 0);
+}
+
+TEST(MpPinned, InvalidCpuDegradesToUnpinnedRun) {
+  WorldOptions opts;
+  opts.pin_threads = true;
+  opts.cpu_set = {9999999};  // beyond any real machine (and CPU_SETSIZE)
+  World world(2, opts);
+  std::atomic<int> ran{0};
+  // The run must complete normally; the bad cpu only costs the pinning.
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 2, 7);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 7);
+    }
+    ran++;
+  });
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(world.pinned_ranks(), 0);
+  EXPECT_EQ(obs::Registry::global().gauge("mp.pinned_ranks").value(), 0);
+}
+#endif  // __linux__
+
+TEST(MpPinned, UnpinnedWorldReportsZeroPinnedRanks) {
+  World world(2);
+  world.run([](Comm&) {});
+  EXPECT_EQ(world.pinned_ranks(), 0);
+  EXPECT_FALSE(world.options().pin_threads);
 }
 
 }  // namespace

@@ -1,0 +1,477 @@
+// Backend-equivalence tests for the runtime-dispatched SIMD kernels.
+//
+// Every vector backend must reproduce the scalar reference: bit-exactly for
+// the FMA-free primitives (scale, deinterleave_scale, interleave,
+// norm_interleaved) and within tolerance for the FMA-contracted ones
+// (butterfly*, cscale*, cmul_interleaved, cmac_conj, cdot). On top of the
+// primitives, the whole STAP chain is checked end to end: FFT batch paths
+// (including Bluestein sizes and odd lane counts) and — the contract that
+// matters operationally — CFAR detections identical across backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "fft/fft.hpp"
+#include "obs/metrics.hpp"
+#include "stap/cfar.hpp"
+#include "stap/doppler.hpp"
+#include "stap/pulse_compress.hpp"
+#include "stap/scene.hpp"
+
+namespace pstap {
+namespace {
+
+using simd::Backend;
+
+std::vector<Backend> supported_backends() {
+  std::vector<Backend> out{Backend::kScalar};
+  const Backend best = simd::detect_best();
+  if (static_cast<int>(best) >= static_cast<int>(Backend::kSse2)) {
+    out.push_back(Backend::kSse2);
+  }
+  if (static_cast<int>(best) >= static_cast<int>(Backend::kAvx2)) {
+    out.push_back(Backend::kAvx2);
+  }
+  return out;
+}
+
+// Restores the default backend even if a test fails mid-way.
+struct BackendGuard {
+  ~BackendGuard() { simd::force_backend(simd::detect_best()); }
+};
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+stap::BeamArray clone(const stap::BeamArray& src) {
+  stap::BeamArray out(src.bins(), src.beams(), src.ranges());
+  std::copy(src.flat().begin(), src.flat().end(), out.flat().begin());
+  return out;
+}
+
+// ------------------------------------------------------------ plumbing --
+
+TEST(SimdDispatch, BackendNamesAndDetection) {
+  EXPECT_STREQ(simd::backend_name(Backend::kScalar), "scalar");
+  EXPECT_STREQ(simd::backend_name(Backend::kSse2), "sse2");
+  EXPECT_STREQ(simd::backend_name(Backend::kAvx2), "avx2");
+#if defined(__x86_64__)
+  // x86-64 baseline guarantees SSE2.
+  EXPECT_GE(static_cast<int>(simd::detect_best()),
+            static_cast<int>(Backend::kSse2));
+#endif
+}
+
+TEST(SimdDispatch, ActiveBackendIsRecordedInGauge) {
+  const Backend b = simd::active();
+  EXPECT_EQ(obs::Registry::global().gauge("simd.backend").value(),
+            static_cast<std::int64_t>(b));
+}
+
+TEST(SimdDispatch, ForceBackendClampsToSupported) {
+  BackendGuard guard;
+  const Backend applied = simd::force_backend(Backend::kAvx2);
+  EXPECT_LE(static_cast<int>(applied), static_cast<int>(simd::detect_best()));
+  EXPECT_EQ(simd::force_backend(Backend::kScalar), Backend::kScalar);
+}
+
+TEST(SimdDispatch, OpsByBackendReturnsDistinctTablesWhenSupported) {
+  const simd::Ops& scalar = simd::ops(Backend::kScalar);
+  for (Backend b : supported_backends()) {
+    if (b == Backend::kScalar) continue;
+    EXPECT_NE(&simd::ops(b), &scalar) << simd::backend_name(b);
+  }
+}
+
+// ---------------------------------------------------------- primitives --
+
+// Sizes straddling every vector width and tail combination.
+const std::size_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 100};
+
+TEST(SimdPrimitives, ButterflyMatchesScalar) {
+  const simd::Ops& ref = simd::ops(Backend::kScalar);
+  for (Backend b : supported_backends()) {
+    const simd::Ops& vec = simd::ops(b);
+    for (std::size_t n : kSizes) {
+      auto ar0 = random_floats(n, 1), ai0 = random_floats(n, 2);
+      auto br0 = random_floats(n, 3), bi0 = random_floats(n, 4);
+      auto ar1 = ar0, ai1 = ai0, br1 = br0, bi1 = bi0;
+      const float wr = 0.6f, wi = -0.8f;
+      ref.butterfly(ar0.data(), ai0.data(), br0.data(), bi0.data(), wr, wi, n);
+      vec.butterfly(ar1.data(), ai1.data(), br1.data(), bi1.data(), wr, wi, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(ar0[i], ar1[i], 1e-5f) << simd::backend_name(b) << " n=" << n;
+        EXPECT_NEAR(ai0[i], ai1[i], 1e-5f);
+        EXPECT_NEAR(br0[i], br1[i], 1e-5f);
+        EXPECT_NEAR(bi0[i], bi1[i], 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitives, ButterflyRowsMatchesPerRowButterfly) {
+  for (Backend b : supported_backends()) {
+    const simd::Ops& vec = simd::ops(b);
+    for (std::size_t lanes : {std::size_t{3}, std::size_t{8}, std::size_t{16},
+                              std::size_t{21}, std::size_t{64}}) {
+      const std::size_t rows = 5;
+      auto ar0 = random_floats(rows * lanes, 11);
+      auto ai0 = random_floats(rows * lanes, 12);
+      auto br0 = random_floats(rows * lanes, 13);
+      auto bi0 = random_floats(rows * lanes, 14);
+      auto w = random_floats(2 * rows, 15);
+      auto ar1 = ar0, ai1 = ai0, br1 = br0, bi1 = bi0;
+      for (std::size_t j = 0; j < rows; ++j) {
+        vec.butterfly(ar0.data() + j * lanes, ai0.data() + j * lanes,
+                      br0.data() + j * lanes, bi0.data() + j * lanes, w[2 * j],
+                      w[2 * j + 1], lanes);
+      }
+      vec.butterfly_rows(ar1.data(), ai1.data(), br1.data(), bi1.data(),
+                         w.data(), rows, lanes);
+      // Same backend, same expression trees: bit-identical.
+      EXPECT_EQ(ar0, ar1) << simd::backend_name(b) << " lanes=" << lanes;
+      EXPECT_EQ(ai0, ai1);
+      EXPECT_EQ(br0, br1);
+      EXPECT_EQ(bi0, bi1);
+    }
+  }
+}
+
+TEST(SimdPrimitives, Butterfly2RowsMatchesTwoStagePasses) {
+  for (Backend b : supported_backends()) {
+    const simd::Ops& vec = simd::ops(b);
+    for (std::size_t lanes : {std::size_t{4}, std::size_t{8}, std::size_t{16},
+                              std::size_t{19}, std::size_t{64}}) {
+      for (std::size_t h : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        const std::size_t rows = 4 * h;
+        auto re0 = random_floats(rows * lanes, 21);
+        auto im0 = random_floats(rows * lanes, 22);
+        auto w1 = random_floats(2 * h, 23);
+        auto w2 = random_floats(2 * 2 * h, 24);
+        auto re1 = re0, im1 = im0;
+        // Reference: stage h then stage 2h as separate butterfly_rows
+        // passes over the same block of 4h rows.
+        for (std::size_t block = 0; block < rows; block += 2 * h) {
+          vec.butterfly_rows(re0.data() + block * lanes,
+                             im0.data() + block * lanes,
+                             re0.data() + (block + h) * lanes,
+                             im0.data() + (block + h) * lanes, w1.data(), h,
+                             lanes);
+        }
+        vec.butterfly_rows(re0.data(), im0.data(), re0.data() + 2 * h * lanes,
+                           im0.data() + 2 * h * lanes, w2.data(), 2 * h, lanes);
+        vec.butterfly2_rows(re1.data(), im1.data(), w1.data(), w2.data(), h,
+                            lanes);
+        EXPECT_EQ(re0, re1) << simd::backend_name(b) << " lanes=" << lanes
+                            << " h=" << h;
+        EXPECT_EQ(im0, im1);
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitives, CscaleFamilyMatchesScalar) {
+  const simd::Ops& ref = simd::ops(Backend::kScalar);
+  for (Backend b : supported_backends()) {
+    const simd::Ops& vec = simd::ops(b);
+    for (std::size_t n : kSizes) {
+      const float wr = -0.3f, wi = 0.9f;
+      auto re0 = random_floats(n, 5), im0 = random_floats(n, 6);
+      auto re1 = re0, im1 = im0;
+      ref.cscale(re0.data(), im0.data(), wr, wi, n);
+      vec.cscale(re1.data(), im1.data(), wr, wi, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(re0[i], re1[i], 1e-5f) << simd::backend_name(b);
+        EXPECT_NEAR(im0[i], im1[i], 1e-5f);
+      }
+
+      auto xr = random_floats(n, 7), xi = random_floats(n, 8);
+      std::vector<float> yr0(n), yi0(n), yr1(n), yi1(n);
+      ref.cscale_to(yr0.data(), yi0.data(), xr.data(), xi.data(), wr, wi, n);
+      vec.cscale_to(yr1.data(), yi1.data(), xr.data(), xi.data(), wr, wi, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(yr0[i], yr1[i], 1e-5f);
+        EXPECT_NEAR(yi0[i], yi1[i], 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitives, CscaleRowsMatchesPerRow) {
+  for (Backend b : supported_backends()) {
+    const simd::Ops& vec = simd::ops(b);
+    for (std::size_t lanes : {std::size_t{5}, std::size_t{16}, std::size_t{24}}) {
+      const std::size_t rows = 7;
+      auto re0 = random_floats(rows * lanes, 31);
+      auto im0 = random_floats(rows * lanes, 32);
+      auto w = random_floats(2 * rows, 33);
+      auto re1 = re0, im1 = im0;
+      for (std::size_t j = 0; j < rows; ++j) {
+        vec.cscale(re0.data() + j * lanes, im0.data() + j * lanes, w[2 * j],
+                   w[2 * j + 1], lanes);
+      }
+      vec.cscale_rows(re1.data(), im1.data(), w.data(), rows, lanes);
+      EXPECT_EQ(re0, re1) << simd::backend_name(b) << " lanes=" << lanes;
+      EXPECT_EQ(im0, im1);
+
+      auto xr = random_floats(rows * lanes, 34);
+      auto xi = random_floats(rows * lanes, 35);
+      std::vector<float> yr0(rows * lanes), yi0(rows * lanes);
+      std::vector<float> yr1(rows * lanes), yi1(rows * lanes);
+      for (std::size_t j = 0; j < rows; ++j) {
+        vec.cscale_to(yr0.data() + j * lanes, yi0.data() + j * lanes,
+                      xr.data() + j * lanes, xi.data() + j * lanes, w[2 * j],
+                      w[2 * j + 1], lanes);
+      }
+      vec.cscale_rows_to(yr1.data(), yi1.data(), xr.data(), xi.data(), w.data(),
+                         rows, lanes);
+      EXPECT_EQ(yr0, yr1);
+      EXPECT_EQ(yi0, yi1);
+    }
+  }
+}
+
+TEST(SimdPrimitives, InterleavedOpsMatchScalar) {
+  const simd::Ops& ref = simd::ops(Backend::kScalar);
+  for (Backend b : supported_backends()) {
+    const simd::Ops& vec = simd::ops(b);
+    for (std::size_t n : kSizes) {
+      // cmul_interleaved (tolerance: FMA allowed).
+      auto a0 = random_floats(2 * n, 41);
+      auto bb = random_floats(2 * n, 42);
+      auto a1 = a0;
+      ref.cmul_interleaved(a0.data(), bb.data(), n);
+      vec.cmul_interleaved(a1.data(), bb.data(), n);
+      for (std::size_t i = 0; i < 2 * n; ++i) {
+        EXPECT_NEAR(a0[i], a1[i], 1e-5f) << simd::backend_name(b) << " n=" << n;
+      }
+
+      // cmac_conj (tolerance).
+      auto y0 = random_floats(2 * n, 43);
+      auto x = random_floats(2 * n, 44);
+      auto y1 = y0;
+      ref.cmac_conj(y0.data(), x.data(), 0.7f, -0.2f, n);
+      vec.cmac_conj(y1.data(), x.data(), 0.7f, -0.2f, n);
+      for (std::size_t i = 0; i < 2 * n; ++i) {
+        EXPECT_NEAR(y0[i], y1[i], 1e-5f);
+      }
+
+      // scale / deinterleave_scale / interleave / norm_interleaved are
+      // FMA-free: bit-exact across backends.
+      auto s0 = random_floats(n, 45);
+      auto s1 = s0;
+      ref.scale(s0.data(), 1.25f, n);
+      vec.scale(s1.data(), 1.25f, n);
+      EXPECT_EQ(s0, s1);
+
+      auto src = random_floats(2 * n, 46);
+      std::vector<float> dr0(n), di0(n), dr1(n), di1(n);
+      ref.deinterleave_scale(dr0.data(), di0.data(), src.data(), 0.33f, n);
+      vec.deinterleave_scale(dr1.data(), di1.data(), src.data(), 0.33f, n);
+      EXPECT_EQ(dr0, dr1);
+      EXPECT_EQ(di0, di1);
+
+      std::vector<float> il0(2 * n), il1(2 * n);
+      ref.interleave(il0.data(), dr0.data(), di0.data(), n);
+      vec.interleave(il1.data(), dr0.data(), di0.data(), n);
+      EXPECT_EQ(il0, il1);
+
+      std::vector<double> p0(n), p1(n);
+      ref.norm_interleaved(p0.data(), src.data(), n);
+      vec.norm_interleaved(p1.data(), src.data(), n);
+      EXPECT_EQ(p0, p1);
+    }
+  }
+}
+
+TEST(SimdPrimitives, CdotMatchesScalarWithinTolerance) {
+  const simd::Ops& ref = simd::ops(Backend::kScalar);
+  for (Backend b : supported_backends()) {
+    const simd::Ops& vec = simd::ops(b);
+    for (std::size_t n : kSizes) {
+      auto x = random_floats(2 * n, 51);
+      auto y = random_floats(2 * n, 52);
+      float rr = 0, ri = 0, vr = 0, vi = 0;
+      ref.cdot(x.data(), y.data(), n, &rr, &ri);
+      vec.cdot(x.data(), y.data(), n, &vr, &vi);
+      const float tol = 1e-4f * static_cast<float>(n + 1);
+      EXPECT_NEAR(rr, vr, tol) << simd::backend_name(b) << " n=" << n;
+      EXPECT_NEAR(ri, vi, tol);
+    }
+  }
+}
+
+// --------------------------------------------------------- FFT kernels --
+
+TEST(SimdKernels, BatchFftMatchesReferenceAcrossBackends) {
+  BackendGuard guard;
+  // Pow2, Bluestein (127 prime, 96 even composite), and sizes around the
+  // lane width; batch counts hitting full and partial lane blocks.
+  for (std::size_t n : {std::size_t{8}, std::size_t{64}, std::size_t{127},
+                        std::size_t{96}}) {
+    for (std::size_t count : {std::size_t{1}, std::size_t{5}, std::size_t{16},
+                              std::size_t{33}}) {
+      Rng rng(n * 100 + count);
+      std::vector<cfloat> input(n * count);
+      for (auto& v : input) v = rng.complex_normal();
+
+      // Reference: per-series AoS transform (scalar expression trees).
+      simd::force_backend(Backend::kScalar);
+      std::vector<cfloat> ref = input;
+      fft::FftPlan plan(n);
+      for (std::size_t c = 0; c < count; ++c) {
+        plan.transform(std::span<cfloat>(ref.data() + c * n, n),
+                       fft::Direction::kForward);
+      }
+
+      for (Backend b : supported_backends()) {
+        simd::force_backend(b);
+        std::vector<cfloat> got = input;
+        fft::BatchScratch scratch;
+        plan.transform_batch(got, count, fft::Direction::kForward, scratch);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_NEAR(got[i].real(), ref[i].real(), 2e-3f)
+              << simd::backend_name(b) << " n=" << n << " count=" << count;
+          EXPECT_NEAR(got[i].imag(), ref[i].imag(), 2e-3f);
+        }
+        // Round-trip through the inverse lands back on the input.
+        plan.transform_batch(got, count, fft::Direction::kInverse, scratch);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_NEAR(got[i].real(), input[i].real(), 2e-3f);
+          EXPECT_NEAR(got[i].imag(), input[i].imag(), 2e-3f);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ScratchPlanesAreSimdAligned) {
+  // The batch paths PSTAP_REQUIRE 64-byte alignment of their SoA planes
+  // after every resize — reaching the end of a transform proves the
+  // AlignedVector storage held its alignment through reallocation.
+  fft::BatchScratch scratch;
+  for (std::size_t n : {std::size_t{8}, std::size_t{64}, std::size_t{127}}) {
+    fft::FftPlan plan(n);
+    std::vector<cfloat> data(n * 3);
+    EXPECT_NO_THROW(
+        plan.transform_batch(data, 3, fft::Direction::kForward, scratch));
+  }
+}
+
+// ------------------------------------------------- STAP chain contract --
+
+TEST(SimdKernels, DopplerOutputEquivalentAcrossBackends) {
+  BackendGuard guard;
+  stap::RadarParams p = stap::RadarParams::test_small();
+  stap::SceneGenerator gen(p, stap::SceneConfig{}, 7);
+  const stap::DataCube cube = gen.generate(0);
+  stap::DopplerFilter filter(p);
+
+  simd::force_backend(Backend::kScalar);
+  const stap::DopplerOutput ref = filter.process(cube);
+
+  for (Backend b : supported_backends()) {
+    simd::force_backend(b);
+    const stap::DopplerOutput got = filter.process(cube);
+    ASSERT_EQ(got.easy.flat().size(), ref.easy.flat().size());
+    for (std::size_t i = 0; i < ref.easy.flat().size(); ++i) {
+      EXPECT_NEAR(got.easy.flat()[i].real(), ref.easy.flat()[i].real(), 1e-3f)
+          << simd::backend_name(b);
+      EXPECT_NEAR(got.easy.flat()[i].imag(), ref.easy.flat()[i].imag(), 1e-3f);
+    }
+    for (std::size_t i = 0; i < ref.hard.flat().size(); ++i) {
+      EXPECT_NEAR(got.hard.flat()[i].real(), ref.hard.flat()[i].real(), 1e-3f);
+      EXPECT_NEAR(got.hard.flat()[i].imag(), ref.hard.flat()[i].imag(), 1e-3f);
+    }
+  }
+}
+
+TEST(SimdKernels, CfarDetectionsIdenticalAcrossBackends) {
+  BackendGuard guard;
+  stap::RadarParams p = stap::RadarParams::test_small();
+  Rng rng(99);
+  stap::BeamArray beams(p.doppler_bins(), p.beams, p.ranges);
+  for (auto& v : beams.flat()) v = rng.complex_normal();
+  // Plant a few strong targets so the detector has work to do.
+  beams.range_series(3, 0)[40] = cfloat(30.0f, 0.0f);
+  beams.range_series(7, 1)[90] = cfloat(25.0f, -10.0f);
+  std::vector<std::size_t> ids(beams.bins());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+
+  stap::CfarDetector cfar(p);
+  simd::force_backend(Backend::kScalar);
+  const auto ref = cfar.detect(beams, ids);
+  EXPECT_FALSE(ref.empty());
+
+  for (Backend b : supported_backends()) {
+    simd::force_backend(b);
+    const auto got = cfar.detect(beams, ids);
+    // norm_interleaved is FMA-free on every backend, so the detection sets
+    // — indices AND power/threshold values — must be bit-identical.
+    ASSERT_EQ(got.size(), ref.size()) << simd::backend_name(b);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].bin, ref[i].bin);
+      EXPECT_EQ(got[i].beam, ref[i].beam);
+      EXPECT_EQ(got[i].range, ref[i].range);
+      EXPECT_EQ(got[i].power, ref[i].power);
+      EXPECT_EQ(got[i].threshold, ref[i].threshold);
+    }
+  }
+}
+
+TEST(SimdKernels, PulseCompressionEquivalentAcrossBackends) {
+  BackendGuard guard;
+  stap::RadarParams p = stap::RadarParams::test_small();
+  Rng rng(5);
+  stap::BeamArray input(p.doppler_bins(), p.beams, p.ranges);
+  for (auto& v : input.flat()) v = rng.complex_normal();
+  stap::PulseCompressor pc(p);
+
+  simd::force_backend(Backend::kScalar);
+  stap::BeamArray ref = clone(input);
+  pc.compress(ref);
+
+  for (Backend b : supported_backends()) {
+    simd::force_backend(b);
+    stap::BeamArray got = clone(input);
+    pc.compress(got);
+    for (std::size_t i = 0; i < ref.flat().size(); ++i) {
+      EXPECT_NEAR(got.flat()[i].real(), ref.flat()[i].real(), 1e-3f)
+          << simd::backend_name(b);
+      EXPECT_NEAR(got.flat()[i].imag(), ref.flat()[i].imag(), 1e-3f);
+    }
+  }
+}
+
+// ------------------------------------------------------------- aligned --
+
+TEST(AlignedVector, AllocatesToDefaultAlignment) {
+  AlignedVector<float> v(1000);
+  EXPECT_TRUE(is_aligned(v.data()));
+  v.resize(4096);
+  EXPECT_TRUE(is_aligned(v.data()));
+  AlignedVector<float> w = v;
+  EXPECT_TRUE(is_aligned(w.data()));
+}
+
+TEST(AlignedVector, IsAlignedChecksArbitraryBoundaries) {
+  alignas(64) float buf[32];
+  EXPECT_TRUE(is_aligned(buf));
+  EXPECT_TRUE(is_aligned(buf, 32));
+  EXPECT_FALSE(is_aligned(buf + 1, 64));
+  EXPECT_TRUE(is_aligned(buf + 16, 64));
+}
+
+}  // namespace
+}  // namespace pstap
