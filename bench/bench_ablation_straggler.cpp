@@ -6,20 +6,27 @@
 // straggler's hit lands directly on pipeline throughput, while the large
 // stripe factor hides mild stragglers behind compute/communication overlap.
 #include <cstdio>
+#include <map>
 
 #include "chart.hpp"
 #include "experiment_config.hpp"
+
+#include "obs/report.hpp"
 
 using namespace pstap;
 using namespace pstap::bench;
 
 int main() {
+  // RunReport collection for the whole sweep: with PSTAP_REPORT set,
+  // every run below lands in one document (obs/report.hpp).
+  pstap::obs::ReportSession report_session;
   std::printf("== Ablation: one straggler I/O server (100 nodes) ==\n\n");
 
   const int total = 100;
   const std::vector<double> slowdowns{1.0, 2.0, 4.0, 8.0};
 
   bool all_ok = true;
+  std::map<std::size_t, std::vector<double>> sweep;  // sf -> throughput/slowdown
   for (const std::size_t sf : {16u, 64u}) {
     BarSeries thr{"throughput — paragon-like sf=" + std::to_string(sf) +
                       ", 1 straggler server at various slowdowns",
@@ -37,6 +44,7 @@ int main() {
       thr.bars.emplace_back(label, result.measured_throughput);
     }
     print_bars(thr);
+    sweep[sf] = t;
 
     // Monotone: a slower straggler never helps.
     for (std::size_t i = 1; i < t.size(); ++i) {
@@ -52,17 +60,10 @@ int main() {
   }
 
   // Relative damage comparison at 4x: sf=16 (I/O bound) suffers at least
-  // as much as sf=64 (overlapped).
-  auto degradation = [&](std::size_t sf) {
-    auto machine = sim::paragon_like(sf);
-    const double clean =
-        sim::SimRunner(embedded_spec(total), machine).run().measured_throughput;
-    machine.straggler_servers = 1;
-    machine.straggler_slowdown = 4.0;
-    const double slow =
-        sim::SimRunner(embedded_spec(total), machine).run().measured_throughput;
-    return slow / clean;
-  };
+  // as much as sf=64 (overlapped). Reuses the sweep's runs (slowdown index
+  // 0 is clean, index 2 is 4x) so each config lands in the RunReport
+  // document exactly once.
+  auto degradation = [&](std::size_t sf) { return sweep[sf][2] / sweep[sf][0]; };
   const double deg16 = degradation(16);
   const double deg64 = degradation(64);
   std::printf("retained throughput at 4x straggler: sf=16 %.3f, sf=64 %.3f\n\n",

@@ -8,6 +8,8 @@
 #include "experiment_config.hpp"
 #include "pfs/striped_file_system.hpp"
 
+#include "obs/report.hpp"
+
 using namespace pstap;
 using namespace pstap::bench;
 
@@ -53,6 +55,9 @@ IoProbe probe_engine(std::size_t stripe_factor) {
 }  // namespace
 
 int main() {
+  // RunReport collection for the whole sweep: with PSTAP_REPORT set,
+  // every run below lands in one document (obs/report.hpp).
+  pstap::obs::ReportSession report_session;
   std::printf("== Ablation: stripe-factor sweep (embedded I/O, 100 nodes) ==\n\n");
 
   const auto spec = embedded_spec(100);

@@ -9,10 +9,15 @@
 #include "chart.hpp"
 #include "experiment_config.hpp"
 
+#include "obs/report.hpp"
+
 using namespace pstap;
 using namespace pstap::bench;
 
 int main() {
+  // RunReport collection for the whole sweep: with PSTAP_REPORT set,
+  // every run below lands in one document (obs/report.hpp).
+  pstap::obs::ReportSession report_session;
   std::printf("== Figure 8: with vs without task combining ==\n\n");
 
   bool all_ok = true;

@@ -16,6 +16,8 @@
 #include "common/table.hpp"
 #include "pipeline/thread_runner.hpp"
 
+#include "obs/report.hpp"
+
 using namespace pstap;
 namespace fsys = std::filesystem;
 
@@ -66,6 +68,9 @@ void report(const char* title, const pipeline::PipelineSpec& spec,
 }  // namespace
 
 int main() {
+  // RunReport collection for the whole sweep: with PSTAP_REPORT set,
+  // every run below lands in one document (obs/report.hpp).
+  pstap::obs::ReportSession report_session;
   std::printf("== Functional pipeline (thread ranks, real files, real math) ==\n\n");
   const auto p = stap::RadarParams::test_small();
   const fsys::path root =

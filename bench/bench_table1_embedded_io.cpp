@@ -15,10 +15,15 @@
 
 #include "experiment_config.hpp"
 
+#include "obs/report.hpp"
+
 using namespace pstap;
 using namespace pstap::bench;
 
 int main() {
+  // RunReport collection for the whole sweep: with PSTAP_REPORT set,
+  // every run below lands in one document (obs/report.hpp).
+  pstap::obs::ReportSession report_session;
   std::printf("== Table 1: I/O embedded in the Doppler filter processing task ==\n\n");
 
   bool all_ok = true;

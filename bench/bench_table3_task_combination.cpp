@@ -8,10 +8,15 @@
 
 #include "experiment_config.hpp"
 
+#include "obs/report.hpp"
+
 using namespace pstap;
 using namespace pstap::bench;
 
 int main() {
+  // RunReport collection for the whole sweep: with PSTAP_REPORT set,
+  // every run below lands in one document (obs/report.hpp).
+  pstap::obs::ReportSession report_session;
   std::printf(
       "== Table 3: pulse compression and CFAR tasks combined (PC + CFAR) ==\n\n");
 

@@ -43,7 +43,10 @@ class Histogram {
   /// bucket (a zero-length wait is still a wait).
   void record(double value);
 
-  /// Add every observation of `other` into this histogram.
+  /// Add every observation of `other` into this histogram. The count added
+  /// is derived from the bucket loads themselves (not other's count_), so
+  /// a copy taken while `other` is being recorded into is internally
+  /// consistent: count == sum of bucket counts, always.
   void merge(const Histogram& other);
 
   /// Zero all state (relaxed stores; not atomic as a whole).
@@ -79,6 +82,17 @@ class Histogram {
 
   /// Index of the bucket `value` lands in.
   static std::size_t bucket_index(double value);
+
+  /// Bucket-level JSON, the RunReport interchange form:
+  ///   {"count":N,"sum":S,"min":m,"max":M,"p50":..,"p95":..,"p99":..,
+  ///    "buckets":[[index,count],...]}    (sparse, index-ascending)
+  /// count/sum/min/max/buckets round-trip exactly through from_json;
+  /// the quantiles are derived output for downstream tooling.
+  void to_json(std::ostream& out) const;
+  std::string to_json() const;
+
+  /// Parse the to_json form. Throws std::runtime_error on malformed input.
+  static Histogram from_json(std::string_view json);
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
@@ -118,6 +132,17 @@ class Gauge {
   std::atomic<std::int64_t> peak_{0};
 };
 
+/// Point-in-time copy of every registered metric. Histogram copies are
+/// internally consistent (count == sum of buckets) even when taken while
+/// writers keep calling record() — see Histogram::merge.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, Histogram>> histograms;
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  /// name -> (value, peak)
+  std::vector<std::pair<std::string, std::pair<std::int64_t, std::int64_t>>>
+      gauges;
+};
+
 /// Process-wide named metrics. Entries are created on first use and never
 /// removed, so returned references are stable — hot paths should look a
 /// metric up once and keep the reference.
@@ -128,6 +153,10 @@ class Registry {
   Histogram& histogram(std::string_view name);
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+
+  /// Consistent point-in-time copy of every metric, sorted by name. Safe
+  /// (and meaningful) under concurrent record()/add() calls.
+  RegistrySnapshot snapshot() const;
 
   /// Sorted (name, metric) views for reporting.
   std::vector<std::pair<std::string, const Histogram*>> histograms() const;

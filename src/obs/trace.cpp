@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <sstream>
 
 namespace pstap::obs {
 
@@ -127,6 +128,9 @@ void TraceRecorder::complete(const char* cat, std::string_view name,
                              std::int32_t pid, std::int64_t ts_ns,
                              std::int64_t dur_ns, std::int64_t cpi,
                              std::string_view detail, std::int64_t tid) {
+  if (flight_enabled()) {
+    FlightRecorder::global().record_span(cat, name, pid, ts_ns, dur_ns, cpi);
+  }
   if (!trace_enabled()) return;
   TraceEvent e;
   e.kind = TraceEvent::Kind::kComplete;
@@ -144,13 +148,16 @@ void TraceRecorder::complete(const char* cat, std::string_view name,
 void TraceRecorder::instant(const char* cat, std::string_view name,
                             std::int32_t pid, std::int64_t cpi,
                             std::string_view detail) {
-  if (!trace_enabled()) return;
+  if (!trace_enabled() && !flight_enabled()) return;
   instant_at(cat, name, pid, trace_now_ns(), cpi, detail);
 }
 
 void TraceRecorder::instant_at(const char* cat, std::string_view name,
                                std::int32_t pid, std::int64_t ts_ns,
                                std::int64_t cpi, std::string_view detail) {
+  if (flight_enabled()) {
+    FlightRecorder::global().record_instant(cat, name, pid, ts_ns, cpi);
+  }
   if (!trace_enabled()) return;
   TraceEvent e;
   e.kind = TraceEvent::Kind::kInstant;
@@ -195,9 +202,32 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
   return all;
 }
 
-void TraceRecorder::write_chrome_json(std::ostream& out) const {
-  const std::vector<TraceEvent> events = snapshot();
+std::vector<TraceEvent> TraceRecorder::snapshot_best_effort() const {
+  // Crash path: a wedged thread may hold its buffer lock (or mu_) forever,
+  // so never wait — a partially-collected trace beats a hung dump. Events
+  // are only ever appended whole under the buffer lock, so every buffer we
+  // do win contains only fully-written events.
+  std::vector<TraceEvent> all;
+  {
+    std::unique_lock lock(mu_, std::try_to_lock);
+    if (!lock.owns_lock()) return all;
+    all = meta_;
+    for (const auto& buf : buffers_) {
+      std::unique_lock buf_lock(buf->mu, std::try_to_lock);
+      if (!buf_lock.owns_lock()) continue;
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return all;
+}
 
+namespace {
+
+void render_chrome_json(std::ostream& out, const std::vector<TraceEvent>& events) {
   // Rebase wall-clock timestamps so the trace starts near t=0. Simulated
   // producers already count from zero; rebasing by the global minimum keeps
   // both kinds sensible (a trace is one or the other in practice).
@@ -260,9 +290,27 @@ void TraceRecorder::write_chrome_json(std::ostream& out) const {
   out << "\n]}\n";
 }
 
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  render_chrome_json(out, snapshot());
+}
+
 void TraceRecorder::write_chrome_json(const std::filesystem::path& path) const {
+  // Render in memory, write in one pass: the file is either absent or a
+  // complete document, never cut off mid-event by a crash during export.
+  std::ostringstream doc;
+  render_chrome_json(doc, snapshot());
   std::ofstream out(path, std::ios::trunc);
-  write_chrome_json(out);
+  out << doc.str();
+}
+
+void TraceRecorder::write_chrome_json_best_effort(
+    const std::filesystem::path& path) const {
+  std::ostringstream doc;
+  render_chrome_json(doc, snapshot_best_effort());
+  std::ofstream out(path, std::ios::trunc);
+  out << doc.str();
 }
 
 TraceSession::TraceSession(std::filesystem::path path) : path_(std::move(path)) {
@@ -281,12 +329,18 @@ TraceSession::TraceSession(std::filesystem::path path) : path_(std::move(path)) 
   active_ = true;
   TraceRecorder::global().clear();
   TraceRecorder::global().enable();
+  // Post-mortem wiring: if this run dies (fatal signal, std::terminate,
+  // supervisor abort) the dump knows where to put the artifacts.
+  FlightRecorder::global().set_crash_base(path_);
+  install_crash_handlers();
 }
 
 TraceSession::~TraceSession() {
   if (!active_) return;
   TraceRecorder::global().disable();
   TraceRecorder::global().write_chrome_json(path_);
+  // Deregister so a later crash can't clobber this finished export.
+  FlightRecorder::global().set_crash_base({});
   g_session_active.store(false);
 }
 

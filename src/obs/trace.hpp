@@ -8,9 +8,13 @@
 // Gantt row group per rank; label them with set_process_name().
 //
 // Cost model, mirroring common/fault.hpp: when tracing is disabled (the
-// default) every emit call is one relaxed atomic load and returns — no
-// clock read, no allocation. Call sites that must build strings for event
-// details gate that work on trace_enabled(). Timestamps are nanoseconds
+// default) every emit call checks two relaxed atomic loads; with the
+// always-on flight ring (obs/flight_recorder.hpp) in its default state the
+// event is additionally copied — allocation-free — into a fixed-size
+// per-thread ring so a crashed run keeps its last moments. Disabling both
+// (PSTAP_FLIGHT=0) restores the original no-clock-read, no-store fast
+// path. Call sites that must build strings for event details still gate
+// that work on trace_enabled(). Timestamps are nanoseconds
 // from std::chrono::steady_clock, rebased at export so traces start near 0;
 // simulated-time producers (sim::SimRunner) instead pass explicit
 // timestamps counted from their own zero epoch.
@@ -29,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace pstap::obs {
@@ -93,17 +98,31 @@ class TraceRecorder {
   /// other threads keep recording (their later events are simply missed).
   std::vector<TraceEvent> snapshot() const;
 
+  /// Like snapshot(), but never blocks: buffers (or the registry) whose
+  /// lock is currently held — e.g. by a thread that was mid-append when a
+  /// fatal signal hit — are skipped instead of waited on. Crash-dump path.
+  std::vector<TraceEvent> snapshot_best_effort() const;
+
   /// Label a pid for the trace UI ("rank 3", "pfs sd001", ...).
   void set_process_name(std::int32_t pid, std::string name);
 
   /// Write the Chrome trace_event JSON document. Wall-clock timestamps are
   /// rebased to the smallest recorded ts; explicit-timestamp (simulated)
-  /// events are written as recorded.
+  /// events are written as recorded. The document is rendered in memory
+  /// and written to `path` in a single pass, so the file is either absent
+  /// or complete JSON — never truncated mid-event.
   void write_chrome_json(std::ostream& out) const;
   void write_chrome_json(const std::filesystem::path& path) const;
 
+  /// Crash-safe export: snapshot_best_effort() rendered and written in one
+  /// pass. Emits a valid (possibly truncated) trace even while emitter
+  /// threads are wedged holding their buffer locks.
+  void write_chrome_json_best_effort(const std::filesystem::path& path) const;
+
   // ------------------------------------------------------------ emitting --
-  // No-ops (one relaxed load) while disabled.
+  // While tracing is disabled these only feed the flight ring (if enabled);
+  // with both off they are no-ops costing two relaxed loads. counter() is
+  // trace-only (sampled levels carry no post-mortem value).
 
   /// A span: [ts_ns, ts_ns + dur_ns). Explicit timestamps, for producers
   /// with their own clock (sim) or deferred emission (ScopedSpan).
@@ -138,29 +157,35 @@ class TraceRecorder {
 
 /// RAII span: measures once on destruction and, from the SAME clock reads,
 /// adds the elapsed seconds to `sink` (if any), records them into `hist`
-/// (if any), and emits the span (if tracing is enabled) — wall-clock
-/// accounting, distributions and traces can never disagree. With no sink,
-/// no histogram and tracing disabled, construction is one relaxed load.
+/// (if any), emits the span (if tracing is enabled), and feeds the flight
+/// ring (if enabled — the default) — wall-clock accounting, distributions,
+/// traces and the post-mortem ring can never disagree. With no sink, no
+/// histogram, tracing off and the flight ring off, construction is two
+/// relaxed loads.
 class ScopedSpan {
  public:
   ScopedSpan(const char* cat, const char* name, std::int32_t pid,
              double* sink_seconds = nullptr, std::int64_t cpi = -1,
              Histogram* hist = nullptr)
       : cat_(cat), name_(name), pid_(pid), sink_(sink_seconds), hist_(hist),
-        cpi_(cpi), active_(trace_enabled()) {
-    if (active_ || sink_ != nullptr || hist_ != nullptr) {
+        cpi_(cpi), active_(trace_enabled()), flight_(flight_enabled()) {
+    if (active_ || flight_ || sink_ != nullptr || hist_ != nullptr) {
       start_ns_ = trace_now_ns();
     }
   }
 
   ~ScopedSpan() {
-    if (!active_ && sink_ == nullptr && hist_ == nullptr) return;
+    if (!active_ && !flight_ && sink_ == nullptr && hist_ == nullptr) return;
     const std::int64_t dur = trace_now_ns() - start_ns_;
     const double seconds = static_cast<double>(dur) * 1e-9;
     if (sink_ != nullptr) *sink_ += seconds;
     if (hist_ != nullptr) hist_->record(seconds);
     if (active_) {
+      // complete() also copies the span into the flight ring.
       TraceRecorder::global().complete(cat_, name_, pid_, start_ns_, dur, cpi_);
+    } else if (flight_) {
+      FlightRecorder::global().record_span(cat_, name_, pid_, start_ns_, dur,
+                                           cpi_);
     }
   }
 
@@ -175,6 +200,7 @@ class ScopedSpan {
   Histogram* hist_;
   std::int64_t cpi_;
   bool active_;
+  bool flight_;
   std::int64_t start_ns_ = 0;
 };
 
@@ -185,6 +211,11 @@ class ScopedSpan {
 /// A session nested inside an already-active one is also passive, so an
 /// outer owner (a test, trace_explorer) keeps the whole timeline. An
 /// active session clears the recorder on entry: one session == one trace.
+///
+/// An active session also registers its path as the crash-artifact base
+/// (FlightRecorder::set_crash_base) and installs the fatal-signal /
+/// terminate handlers, so a run that dies mid-session still leaves a
+/// truncated-but-valid trace plus a `<path>.crash` ring dump behind.
 class TraceSession {
  public:
   explicit TraceSession(std::filesystem::path path = {});

@@ -25,6 +25,10 @@ IoEngine::IoEngine(std::size_t servers, double bandwidth, double latency,
   breakers_.reserve(servers);
   for (std::size_t s = 0; s < servers; ++s) queues_.push_back(std::make_unique<Queue>());
   for (std::size_t s = 0; s < servers; ++s) breakers_.push_back(std::make_unique<Breaker>());
+  server_service_time_.reserve(servers);
+  for (std::size_t s = 0; s < servers; ++s) {
+    server_service_time_.push_back(std::make_unique<obs::Histogram>());
+  }
   read_sites_.reserve(servers);
   write_sites_.reserve(servers);
   depth_names_.reserve(servers);
@@ -215,6 +219,7 @@ void IoEngine::service_loop(std::size_t server) {
     // included) — one clock pair feeds both the histogram and the span.
     const std::int64_t served_ns = obs::trace_now_ns() - started_ns;
     service_time_.record(static_cast<double>(served_ns) * 1e-9);
+    server_service_time_[server]->record(static_cast<double>(served_ns) * 1e-9);
     if (obs::trace_enabled()) {
       obs::TraceRecorder::global().complete(
           "io", job.is_write ? "serve.write" : "serve.read",

@@ -243,6 +243,13 @@ class IoEngine {
   /// modeled service rate — what a client's wait is made of.
   const obs::Histogram& service_time() const noexcept { return service_time_; }
 
+  /// Same distribution, split per stripe directory — the straggler-aware
+  /// scheduler's input: one slow server shows up here long before it moves
+  /// the aggregate. Index < servers().
+  const obs::Histogram& server_service_time(std::size_t server) const noexcept {
+    return *server_service_time_[server];
+  }
+
   /// Wall seconds a logical StripedFile submit spent splitting and
   /// enqueueing chunks (client-side cost before any service happens).
   const obs::Histogram& submit_latency() const noexcept { return submit_latency_; }
@@ -277,6 +284,7 @@ class IoEngine {
   obs::Histogram queue_depth_;
   obs::Histogram service_time_;
   obs::Histogram submit_latency_;
+  std::vector<std::unique_ptr<obs::Histogram>> server_service_time_;
   // Fault-injection site and trace-counter names, precomputed so the hot
   // path never formats.
   std::vector<std::string> read_sites_;   // "pfs.server.read.sdNNN"

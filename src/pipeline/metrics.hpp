@@ -49,6 +49,9 @@ struct PipelineMetrics {
     obs::Histogram queue_depth;     ///< per-submit stripe-queue depth
     obs::Histogram service_time;    ///< per-chunk service seconds
     obs::Histogram submit_latency;  ///< per-logical-request submit seconds
+    /// service_time split per stripe directory (index = server id): the
+    /// straggler signal, persisted into RunReports for the scheduler.
+    std::vector<obs::Histogram> server_service_time;
     std::uint64_t bytes_serviced = 0;
     std::uint64_t retries = 0;          ///< retry sleeps during the run
     std::uint64_t injected_delays = 0;  ///< from the run's fault plan

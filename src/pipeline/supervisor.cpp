@@ -15,7 +15,9 @@ namespace pstap::pipeline {
 namespace {
 
 void trace_event(const char* name, int rank, std::string_view detail) {
-  if (!obs::trace_enabled()) return;
+  // Unconditional: instant() also feeds the always-on flight ring, so a
+  // post-mortem dump keeps the rank-death / failover / abort breadcrumbs
+  // even when tracing itself is off.
   obs::TraceRecorder::global().instant("supervisor", name, rank, -1, detail);
 }
 
@@ -167,6 +169,12 @@ void Supervisor::abort_locked(const std::string& why) {
   abort_reason_ = why;
   aborted_flag_.store(true, std::memory_order_release);
   trace_event("supervisor.abort", -1, why);
+  // Black-box dump before anything unwinds: the run is lost, but the trace
+  // so far plus the flight ring's last events land next to where the trace
+  // session would have exported (`<trace>.crash`). The session's own export
+  // still runs on the unwind path and overwrites the truncated trace with
+  // the final one — the ring dump is the part only this hook can save.
+  obs::dump_crash_artifacts("supervisor abort: " + why);
   // Wake every blocked receiver world-wide: they unwind with
   // MailboxClosed and run_rank marks them finished.
   world_.close_all_mailboxes();

@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <ctime>
 #include <deque>
 #include <optional>
 #include <string>
 #include <thread>
 #include <tuple>
 
+#include "common/simd.hpp"
 #include "common/wall_clock.hpp"
 #include "mp/world.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/collective_read.hpp"
 #include "pipeline/partition.hpp"
@@ -1046,6 +1049,12 @@ RunResult ThreadRunner::run() {
   // Tracing session for this run (trace_path, else PSTAP_TRACE, else off).
   // Opened before the file system so I/O-server activity is captured too.
   obs::TraceSession trace_session(options_.trace_path);
+  // RunReport session (report_path, else PSTAP_REPORT, else off). Passive
+  // when a bench main holds the outer session; this run then contributes
+  // its report to the outer document instead of writing its own.
+  obs::ReportSession report_session(options_.report_path);
+  const Seconds wall_start = monotonic_now();
+  const std::clock_t cpu_start = std::clock();
   const std::uint64_t retries_before = io_retry_counter().value();
 
   // Install the fault plan (if any) for the whole run: radar-side writes,
@@ -1174,6 +1183,11 @@ RunResult ThreadRunner::run() {
   result.metrics.io.queue_depth = fs.engine().queue_depth();
   result.metrics.io.service_time = fs.engine().service_time();
   result.metrics.io.submit_latency = fs.engine().submit_latency();
+  result.metrics.io.server_service_time.reserve(fs.engine().servers());
+  for (std::size_t s = 0; s < fs.engine().servers(); ++s) {
+    result.metrics.io.server_service_time.push_back(
+        fs.engine().server_service_time(s));
+  }
   result.metrics.io.bytes_serviced = fs.engine().bytes_serviced();
   result.metrics.io.retries = io_retry_counter().value() - retries_before;
   result.metrics.io.corrupt_chunks = fs.engine().corrupt_chunks();
@@ -1244,6 +1258,74 @@ RunResult ThreadRunner::run() {
       log.append(static_cast<std::uint64_t>(cpi), block);
       it = end;
     }
+  }
+
+  // --- Structured RunReport (report_session, or an outer one, exports). ---
+  if (obs::report_enabled()) {
+    obs::RunReport report;
+    report.kind = "functional";
+    const char* io_name =
+        spec_.io == IoStrategy::kEmbedded ? "embedded" : "separate";
+    report.label = options_.report_label.empty()
+                       ? std::string("functional ") + io_name +
+                             (spec_.combined_pc_cfar ? " combined" : "") +
+                             " n=" + std::to_string(total)
+                       : options_.report_label;
+    report.geometry = {p.channels, p.pulses,        p.ranges,
+                       p.beams,    p.doppler_bins(), p.cube_bytes()};
+    report.config.io_strategy = io_name;
+    report.config.combined_pc_cfar = spec_.combined_pc_cfar;
+    report.config.stripe_factor = options_.fs_config.stripe_factor;
+    report.config.simd_backend = simd::backend_name(simd::active());
+    report.config.cpis = options_.cpis;
+    report.config.warmup = options_.warmup;
+    report.config.total_nodes = total;
+    report.config.pin_threads = options_.world.pin_threads;
+    report.config.numa_interleave = options_.world.numa_interleave;
+    report.totals.throughput_cpis_per_s = result.metrics.throughput();
+    report.totals.latency_s = result.metrics.latency();
+    report.totals.wall_s = monotonic_now() - wall_start;
+    report.totals.cpu_s = static_cast<double>(std::clock() - cpu_start) /
+                          static_cast<double>(CLOCKS_PER_SEC);
+    report.totals.dropped_cpis = result.metrics.dropped_cpis;
+    for (const TaskTiming& t : result.metrics.tasks) {
+      obs::RunReport::Task task;
+      task.name = task_name(t.kind);
+      task.nodes = t.nodes;
+      task.phases.push_back({"receive", t.receive, t.receive_hist});
+      task.phases.push_back({"compute", t.compute, t.compute_hist});
+      task.phases.push_back({"send", t.send, t.send_hist});
+      report.tasks.push_back(std::move(task));
+    }
+    const auto& io = result.metrics.io;
+    report.io.present = true;
+    report.io.queue_depth = io.queue_depth;
+    report.io.service_time = io.service_time;
+    report.io.submit_latency = io.submit_latency;
+    report.io.server_service_time = io.server_service_time;
+    report.io.queue_depth_peak =
+        static_cast<std::int64_t>(io.queue_depth.max());
+    report.io.bytes_serviced = io.bytes_serviced;
+    report.io.retries = io.retries;
+    report.io.injected_delays = io.injected_delays;
+    report.io.injected_errors = io.injected_errors;
+    report.io.injected_partials = io.injected_partials;
+    report.io.injected_corruptions = io.injected_corruptions;
+    report.io.corrupt_chunks = io.corrupt_chunks;
+    report.io.quarantined_servers = io.quarantined_servers;
+    if (options_.supervise.enabled) {
+      const auto& rec = result.metrics.recovery;
+      report.recovery.present = true;
+      report.recovery.injected_crashes = rec.injected_crashes;
+      report.recovery.crashes_detected = rec.crashes_detected;
+      report.recovery.ranks_respawned = rec.ranks_respawned;
+      report.recovery.io_failovers = rec.io_failovers;
+      report.recovery.promoted_reads = rec.promoted_reads;
+      report.recovery.replayed_messages = rec.replayed_messages;
+      report.recovery.checkpoint_peak_bytes = rec.checkpoint_peak_bytes;
+      report.recovery.max_detection_delay_s = rec.max_detection_delay;
+    }
+    obs::ReportCollector::global().add(std::move(report));
   }
   return result;
 }

@@ -84,6 +84,18 @@ struct RunOptions {
   /// unset leaves tracing off (one relaxed load per would-be event).
   std::filesystem::path trace_path;
 
+  /// Structured RunReport JSON output (obs/report.hpp): geometry, config,
+  /// per-task phase histograms, per-server I/O service times, recovery
+  /// counters. Non-empty: run() writes the report document here. Empty:
+  /// the PSTAP_REPORT environment variable is consulted; unset leaves
+  /// reporting off. When an outer ReportSession is already active (a bench
+  /// main collecting a sweep) this run contributes to its document instead.
+  std::filesystem::path report_path;
+
+  /// Report label (the diff key in report_diff.py). Empty -> derived:
+  /// "functional <io-strategy> n=<total_nodes>".
+  std::string report_label;
+
   /// Rank-thread placement (thread pinning, NUMA intent) passed straight to
   /// the mp::World backing the run. Default: unpinned, as before.
   mp::WorldOptions world;

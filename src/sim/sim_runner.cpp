@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <string>
 #include <utility>
 
+#include "common/simd.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace pstap::sim {
@@ -132,6 +135,11 @@ SimResult SimRunner::run() {
   }
 
   EventQueue queue;
+  // Per-stage per-CPI service-time distributions over the timed window —
+  // constants in the clean deterministic model, but crash events and
+  // future stochastic service models put real tails here, and the
+  // RunReport carries them out as a "service" phase histogram.
+  std::vector<obs::Histogram> service_hist(static_cast<std::size_t>(n));
   std::vector<Seconds> entry(static_cast<std::size_t>(opt_.cpis), -1);
   std::vector<Seconds> exit_t(static_cast<std::size_t>(opt_.cpis), -1);
   const Seconds steady_start_guess = 0;  // refined below via warmup indices
@@ -155,7 +163,10 @@ SimResult SimRunner::run() {
         self.busy[ri] = false;
         self.next_k[ri] = k + self.replicas;
         self.arrived.erase(k);
-        if (timed) self.busy_time += service;
+        if (timed) {
+          self.busy_time += service;
+          service_hist[static_cast<std::size_t>(si)].record(service);
+        }
         if (obs::trace_enabled()) {
           const std::int64_t dur_ns = std::llround(service * 1e9);
           const std::int64_t end_ns = std::llround(queue.now() * 1e9);
@@ -217,6 +228,58 @@ SimResult SimRunner::run() {
   for (const Stage& s : stages) {
     result.utilization.push_back(
         window > 0 ? s.busy_time / (window * s.replicas) : 0.0);
+  }
+
+  // --- Structured RunReport: contributed to whichever ReportSession is
+  // active (a bench main's, typically). Labels are derived from the
+  // configuration so every run of a sweep lands under a distinct key. ---
+  if (obs::report_enabled()) {
+    const MachineModel& machine = model_.machine();
+    const stap::RadarParams& p = spec.params;
+    obs::RunReport report;
+    report.kind = "sim";
+    report.label =
+        std::string("sim ") + machine.name + " " +
+        (spec.io == pipeline::IoStrategy::kEmbedded ? "embedded" : "separate") +
+        (spec.combined_pc_cfar ? " combined" : "") +
+        " n=" + std::to_string(spec.total_nodes());
+    if (machine.straggler_servers > 0 && machine.straggler_slowdown != 1.0) {
+      char suffix[48];
+      std::snprintf(suffix, sizeof suffix, " straggler=%zux%.3g",
+                    machine.straggler_servers, machine.straggler_slowdown);
+      report.label += suffix;
+    }
+    report.geometry = {p.channels, p.pulses,         p.ranges,
+                       p.beams,    p.doppler_bins(), p.cube_bytes()};
+    report.config.machine = machine.name;
+    report.config.io_strategy =
+        spec.io == pipeline::IoStrategy::kEmbedded ? "embedded" : "separate";
+    report.config.combined_pc_cfar = spec.combined_pc_cfar;
+    report.config.stripe_factor = machine.stripe_factor;
+    report.config.simd_backend = simd::backend_name(simd::active());
+    report.config.cpis = opt_.cpis;
+    report.config.warmup = opt_.warmup;
+    report.config.total_nodes = spec.total_nodes();
+    report.config.straggler_servers =
+        static_cast<int>(machine.straggler_servers);
+    report.config.straggler_slowdown = machine.straggler_slowdown;
+    report.totals.throughput_cpis_per_s = result.measured_throughput;
+    report.totals.latency_s = result.measured_latency;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const StageCost& c = stages[i].cost;
+      obs::RunReport::Task task;
+      task.name = pipeline::task_name(c.kind);
+      task.nodes = c.nodes;
+      // Phase scalars are modeled constants (no per-CPI spread); the
+      // per-CPI tail — crash events included — lives in "service".
+      task.phases.push_back({"receive", c.receive, obs::Histogram{}});
+      task.phases.push_back({"compute", c.compute, obs::Histogram{}});
+      task.phases.push_back({"send", c.send, obs::Histogram{}});
+      const obs::Histogram& sh = service_hist[i];
+      task.phases.push_back({"service", sh.mean(), sh});
+      report.tasks.push_back(std::move(task));
+    }
+    obs::ReportCollector::global().add(std::move(report));
   }
   return result;
 }

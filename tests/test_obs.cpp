@@ -1,11 +1,17 @@
 // Tests for the observability layer: histogram bucket/percentile/merge
-// math, Chrome trace JSON export (well-formedness and span nesting under
-// concurrent emitters), the one-load disabled fast path (no allocations),
-// IoEngine queue-depth distributions, and the functional runner's
-// PSTAP_TRACE acceptance: spans for every task phase of every CPI plus an
-// instant event for every injected fault.
+// math and JSON round-trips, Chrome trace JSON export (well-formedness and
+// span nesting under concurrent emitters), the one-load disabled fast path
+// (no allocations), the always-on flight ring (wraparound, crash-dump on
+// supervisor abort), RunReport export (schema round-trip, Table-3 ordering
+// from report data alone, report_diff.py attribution), IoEngine
+// queue-depth distributions, and the functional runner's PSTAP_TRACE
+// acceptance: spans for every task phase of every CPI plus an instant
+// event for every injected fault.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -19,11 +25,17 @@
 #include <tuple>
 #include <vector>
 
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "pfs/striped_file_system.hpp"
 #include "pipeline/task_spec.hpp"
 #include "pipeline/thread_runner.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_runner.hpp"
 
 // ------------------------------------------------- allocation counting --
 // Global operator new instrumented with a thread-local counter so the
@@ -46,7 +58,19 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
+// Nothrow variants must be replaced too: stable_sort's temporary buffer
+// allocates nothrow, and mixing the runtime's nothrow new with the
+// malloc-backed delete below trips ASan's alloc-dealloc-mismatch check.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
 void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
@@ -575,6 +599,301 @@ TEST(ThreadRunnerTrace, SpansForEveryPhaseAndInstantsForEveryFault) {
   EXPECT_EQ(result.metrics.io.injected_errors, plan->injected_errors());
 
   fsys::remove_all(root);
+}
+
+// --------------------------------------------------------- flight ring --
+
+TEST(FlightRing, WraparoundKeepsNewestEventsAndTruncatesNames) {
+  auto& fr = obs::FlightRecorder::global();
+  fr.clear();
+  constexpr std::int64_t kTotal =
+      static_cast<std::int64_t>(obs::FlightRecorder::kRingEvents) + 500;
+  const std::string long_name(obs::FlightRecorder::kNameLen + 16, 'n');
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    fr.record_instant("frw", long_name, /*pid=*/7, /*ts_ns=*/i, /*cpi=*/i);
+  }
+  std::int64_t min_cpi = kTotal, max_cpi = -1;
+  std::size_t ours = 0;
+  for (const auto& e : fr.global().snapshot()) {
+    if (e.cat != "frw") continue;  // other tests' threads may have rings
+    ++ours;
+    EXPECT_EQ(e.kind, obs::FlightRecorder::Kind::kInstant);
+    EXPECT_EQ(e.pid, 7);
+    EXPECT_EQ(e.name.size(), obs::FlightRecorder::kNameLen - 1)
+        << "names must truncate into the fixed slot";
+    min_cpi = std::min(min_cpi, e.cpi);
+    max_cpi = std::max(max_cpi, e.cpi);
+  }
+  // Exactly one ring's worth survives: the newest kRingEvents, oldest
+  // evicted in place.
+  EXPECT_EQ(ours, obs::FlightRecorder::kRingEvents);
+  EXPECT_EQ(max_cpi, kTotal - 1);
+  EXPECT_EQ(min_cpi, kTotal - static_cast<std::int64_t>(ours));
+
+  // The ring dump is valid JSON with the reason and schema marker.
+  std::ostringstream out;
+  fr.write_ring_json(out, "unit \"test\" reason");
+  const Json doc = JsonParser(out.str()).parse();
+  EXPECT_EQ(doc.at("schema_version").number, 1.0);
+  EXPECT_EQ(doc.at("kind").str, "flight_ring");
+  EXPECT_EQ(doc.at("reason").str, "unit \"test\" reason");
+  EXPECT_GE(doc.at("events").array.size(), ours);
+  fr.clear();
+}
+
+TEST(FlightRing, SupervisorAbortDumpsRingAndTraceStaysValid) {
+  const fsys::path root =
+      fsys::temp_directory_path() /
+      ("pstap_obs_crash_" + std::to_string(::getpid()));
+  const fsys::path trace_path = root / "aborted.trace.json";
+  fsys::remove_all(root);
+  fsys::create_directories(root);
+
+  const auto p = stap::RadarParams::test_small();
+  const auto spec = pipeline::PipelineSpec::embedded_io(p, {1, 1, 1, 1, 1, 1, 1});
+  pipeline::RunOptions opt;
+  opt.cpis = 4;
+  opt.warmup = 1;
+  opt.seed = 77;
+  opt.fs_root = root / "fs";
+  opt.trace_path = trace_path;
+  opt.supervise.enabled = true;
+  opt.supervise.heartbeat_interval = 2e-3;
+  opt.supervise.max_respawns = 0;  // first crash exhausts the budget -> abort
+  opt.fault_plan = std::make_shared<fault::FaultPlan>(41);
+  opt.fault_plan->arm_crash("pipeline.rank.3", /*at_index=*/2);
+
+  pipeline::ThreadRunner runner(spec, opt);
+  EXPECT_THROW(runner.run(), RuntimeError);
+
+  // The acceptance criterion: an aborted run still leaves a valid Chrome
+  // trace at the session path plus a last-N-events ring dump next to it.
+  const Json trace = parse_trace_file(trace_path);  // throws if malformed
+  EXPECT_FALSE(trace.at("traceEvents").array.empty());
+
+  const Json ring = parse_trace_file(fsys::path(trace_path) += ".crash");
+  EXPECT_EQ(ring.at("schema_version").number, 1.0);
+  EXPECT_EQ(ring.at("kind").str, "flight_ring");
+  EXPECT_NE(ring.at("reason").str.find("abort"), std::string::npos)
+      << ring.at("reason").str;
+  EXPECT_FALSE(ring.at("events").array.empty());
+  // The ring's breadcrumbs include the supervisor's own abort marker even
+  // though tracing routed spans through the trace buffers.
+  bool saw_abort_event = false;
+  for (const Json& e : ring.at("events").array) {
+    saw_abort_event |= e.at("name").str == "supervisor.abort";
+  }
+  EXPECT_TRUE(saw_abort_event);
+
+  fsys::remove_all(root);
+}
+
+// ------------------------------------------------------ histogram JSON --
+
+TEST(HistogramJson, RoundTripIsLossless) {
+  obs::Histogram h;
+  for (int i = 1; i <= 400; ++i) h.record(i * 3.7e-5);
+  h.record(12.5);
+  const obs::Histogram back = obs::Histogram::from_json(h.to_json());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_DOUBLE_EQ(back.sum(), h.sum());
+  EXPECT_DOUBLE_EQ(back.min(), h.min());
+  EXPECT_DOUBLE_EQ(back.max(), h.max());
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    EXPECT_EQ(back.bucket_count(i), h.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(back.p50(), h.p50());
+  EXPECT_DOUBLE_EQ(back.p95(), h.p95());
+  EXPECT_DOUBLE_EQ(back.p99(), h.p99());
+
+  const obs::Histogram empty_back = obs::Histogram::from_json(
+      obs::Histogram{}.to_json());
+  EXPECT_EQ(empty_back.count(), 0u);
+
+  // Inconsistent documents are rejected, not silently absorbed.
+  EXPECT_THROW(obs::Histogram::from_json("{\"count\":3,\"sum\":1.0,"
+                                         "\"min\":0.1,\"max\":0.5,"
+                                         "\"buckets\":[[4,1]]}"),
+               std::runtime_error);
+  EXPECT_THROW(obs::Histogram::from_json("not json"), std::runtime_error);
+}
+
+TEST(RegistrySnapshotTest, HistogramsConsistentUnderConcurrentRecord) {
+  auto& h = obs::Registry::global().histogram("test.snapshot.race");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      double v = 1e-6 * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.record(v);
+        v = v * 1.37 + 1e-7;
+        if (v > 1.0) v = 1e-6 * (t + 1);
+      }
+    });
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+    for (const auto& [name, hist] : snap.histograms) {
+      std::uint64_t bucket_total = 0;
+      for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+        bucket_total += hist.bucket_count(i);
+      }
+      ASSERT_EQ(hist.count(), bucket_total)
+          << name << ": torn snapshot at iteration " << iter;
+      if (hist.count() > 0) {
+        ASSERT_LE(hist.min(), hist.max()) << name;
+        ASSERT_LE(hist.p50(), hist.p99()) << name;
+      }
+    }
+  }
+  stop = true;
+  for (auto& w : writers) w.join();
+}
+
+// ------------------------------------------------------------ RunReport --
+
+TEST(RunReportTest, SchemaRoundTripAndTable3OrderingFromReportData) {
+  const fsys::path path =
+      fsys::temp_directory_path() /
+      ("pstap_obs_report_" + std::to_string(::getpid()) + ".json");
+  fsys::remove(path);
+  {
+    obs::ReportSession session(path);
+    ASSERT_TRUE(session.active());
+    const stap::RadarParams p;  // paper-scale cube; sim costs are analytic
+    const auto machine = sim::paragon_like(16);
+    const auto split =
+        pipeline::PipelineSpec::embedded_io(p, {8, 2, 6, 4, 10, 6, 4});
+    const auto merged = pipeline::PipelineSpec::combined(p, {8, 2, 6, 4, 10, 10});
+    (void)sim::SimRunner(split, machine).run();
+    (void)sim::SimRunner(merged, machine).run();
+  }
+  ASSERT_FALSE(obs::report_enabled());
+
+  const Json doc = parse_trace_file(path);  // throws if malformed
+  EXPECT_EQ(doc.at("schema_version").number, obs::kReportSchemaVersion);
+  EXPECT_EQ(doc.at("generator").str, "pstap");
+  const auto& reports = doc.at("reports").array;
+  ASSERT_EQ(reports.size(), 2u);
+
+  double split_latency = 0, combined_latency = 0;
+  std::set<std::string> labels;
+  for (const Json& r : reports) {
+    labels.insert(r.at("label").str);
+    EXPECT_EQ(r.at("kind").str, "sim");
+    EXPECT_EQ(r.at("config").at("machine").str, "paragon-pfs16");
+    EXPECT_EQ(r.at("geometry").at("channels").number,
+              static_cast<double>(stap::RadarParams{}.channels));
+    ASSERT_FALSE(r.at("tasks").array.empty());
+    for (const Json& t : r.at("tasks").array) {
+      for (const Json& ph : t.at("phases").array) {
+        // Every phase histogram is schema-complete, bucket dump included.
+        const Json& hist = ph.at("hist");
+        EXPECT_TRUE(hist.has("count") && hist.has("buckets") &&
+                    hist.has("p95"))
+            << t.at("name").str << "/" << ph.at("name").str;
+      }
+    }
+    const double latency = r.at("totals").at("latency_s").number;
+    EXPECT_GT(latency, 0.0);
+    if (r.at("config").at("combined_pc_cfar").boolean) {
+      combined_latency = latency;
+    } else {
+      split_latency = latency;
+    }
+  }
+  EXPECT_EQ(labels.size(), 2u) << "diff keys must be unique";
+  // Table 3's headline, reproduced from the report document alone:
+  // combining PC and CFAR (same total nodes) cuts pipeline latency.
+  EXPECT_GT(split_latency, 0.0);
+  EXPECT_GT(combined_latency, 0.0);
+  EXPECT_LT(combined_latency, split_latency);
+  fsys::remove(path);
+}
+
+// ------------------------------------------------------- report_diff.py --
+
+obs::RunReport synthetic_report(double compute_scale) {
+  obs::RunReport r;
+  r.label = "synthetic pipeline";
+  r.kind = "sim";
+  r.config.io_strategy = "embedded";
+  r.config.total_nodes = 2;
+  r.totals.throughput_cpis_per_s = 10.0 / compute_scale;
+  r.totals.latency_s = 0.5 + 0.5 * compute_scale;
+  obs::RunReport::Task fast;
+  fast.name = "stage_fast";
+  fast.nodes = 1;
+  obs::RunReport::Task slow;
+  slow.name = "stage_slow";
+  slow.nodes = 1;
+  for (const char* phase : {"receive", "compute", "send"}) {
+    obs::RunReport::Phase pf;
+    pf.name = phase;
+    pf.mean_s = 0.1;
+    for (int i = 0; i < 32; ++i) pf.hist.record(0.1);
+    fast.phases.push_back(pf);
+    obs::RunReport::Phase ps = pf;
+    if (ps.name == "compute") {
+      ps.mean_s = 0.1 * compute_scale;
+      ps.hist = obs::Histogram{};
+      for (int i = 0; i < 32; ++i) ps.hist.record(0.1 * compute_scale);
+    }
+    slow.phases.push_back(ps);
+  }
+  r.tasks = {fast, slow};
+  return r;
+}
+
+TEST(ReportDiff, AttributesSyntheticSlowdownToTheSlowedStage) {
+  if (std::system("python3 -c pass >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 unavailable";
+  }
+  const fsys::path dir =
+      fsys::temp_directory_path() /
+      ("pstap_obs_diff_" + std::to_string(::getpid()));
+  fsys::remove_all(dir);
+  fsys::create_directories(dir);
+  const fsys::path base_path = dir / "base.json";
+  const fsys::path cur_path = dir / "cur.json";
+  const fsys::path out_path = dir / "out.txt";
+
+  const std::vector<obs::RunReport> base{synthetic_report(1.0)};
+  const std::vector<obs::RunReport> cur{synthetic_report(2.0)};  // 2x compute
+  obs::write_report_document(base_path, base);
+  obs::write_report_document(cur_path, cur);
+
+  const std::string script =
+      (fsys::path(PSTAP_SCRIPTS_DIR) / "report_diff.py").string();
+  const std::string validate_cmd = "python3 '" + script + "' --validate '" +
+                                   base_path.string() + "' '" +
+                                   cur_path.string() + "' >/dev/null 2>&1";
+  EXPECT_EQ(WEXITSTATUS(std::system(validate_cmd.c_str())), 0)
+      << "synthetic reports must satisfy the published schema";
+
+  const std::string diff_cmd = "python3 '" + script + "' '" +
+                               base_path.string() + "' '" + cur_path.string() +
+                               "' >'" + out_path.string() + "' 2>&1";
+  const int rc = WEXITSTATUS(std::system(diff_cmd.c_str()));
+  std::ifstream in(out_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string out = buf.str();
+
+  EXPECT_EQ(rc, 1) << out;  // regression above threshold -> exit 1
+  EXPECT_NE(out.find("REGRESSION"), std::string::npos) << out;
+  const auto slow_at = out.find("stage_slow");
+  const auto fast_at = out.find("stage_fast");
+  ASSERT_NE(slow_at, std::string::npos) << out;
+  // Attribution ranks by |delta|: the slowed stage leads any mention of
+  // the unchanged one, and its compute tail is called out.
+  if (fast_at != std::string::npos) {
+    EXPECT_LT(slow_at, fast_at) << out;
+  }
+  EXPECT_NE(out.find("compute p95"), std::string::npos) << out;
+
+  fsys::remove_all(dir);
 }
 
 }  // namespace
