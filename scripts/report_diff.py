@@ -235,6 +235,23 @@ def diff_servers(base, cur):
     return rows
 
 
+DEFENSE_COUNTERS = ("hedges_launched", "hedge_wins", "hedge_cancels",
+                    "chunks_stolen", "deadline_expired", "breaker_reopened")
+
+
+def diff_straggler_defense(base, cur):
+    """One-line attribution of straggler-defense activity: which adaptive
+    mechanisms (hedging, stealing, breaker probes) moved between the two
+    runs. Empty string when neither run exercised the scheduler."""
+    parts = []
+    base_io, cur_io = base.get("io", {}), cur.get("io", {})
+    for key in DEFENSE_COUNTERS:
+        b, c = base_io.get(key, 0), cur_io.get(key, 0)
+        if b or c:
+            parts.append(f"{key} {b}->{c}")
+    return ", ".join(parts)
+
+
 def cmd_diff(baseline_path, current_path, threshold, top):
     base_doc = load_document(baseline_path)
     cur_doc = load_document(current_path)
@@ -270,6 +287,9 @@ def cmd_diff(baseline_path, current_path, threshold, top):
             print(f"    {name}: {delta:+.3e} s{note}")
         for r, server_id in diff_servers(base, cur)[:top]:
             print(f"    io server {server_id}: service p50 {r:.2f}x")
+        defense = diff_straggler_defense(base, cur)
+        if defense:
+            print(f"    straggler defense: {defense}")
         if bad:
             regressed = True
 

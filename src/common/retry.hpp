@@ -52,7 +52,37 @@ struct RetryPolicy {
   Seconds attempt_timeout = 0;      ///< per-attempt wait bound (0 = none)
   double backoff_jitter = 0;        ///< fraction of backoff randomized, [0,1]
   std::uint64_t jitter_seed = 0;    ///< base seed for deterministic jitter
+
+  // Deadline-aware timeouts (straggler defense, DESIGN.md §12): when a
+  // service-time distribution is supplied to effective_attempt_timeout,
+  // the per-attempt bound adapts to observed behavior instead of the
+  // fixed attempt_timeout — deadline_multiplier x its deadline_quantile,
+  // floored by deadline_floor. 0 multiplier disables adaptation.
+  double deadline_multiplier = 0;     ///< x quantile (0 = fixed timeout)
+  double deadline_quantile = 0.99;    ///< which quantile bounds an attempt
+  Seconds deadline_floor = 10e-3;     ///< never adapt below this
+  std::uint64_t deadline_min_samples = 64;  ///< trust the quantile after N
 };
+
+/// The per-attempt timeout to use right now: the observed-quantile deadline
+/// when the policy opts in (deadline_multiplier > 0) and `service_time` has
+/// warmed past deadline_min_samples, else the fixed attempt_timeout. The
+/// adaptive bound never falls below the floor, and never *loosens* a fixed
+/// attempt_timeout the caller set (min of the two when both are active) —
+/// a straggling server tightens the bound, it cannot relax it.
+inline Seconds effective_attempt_timeout(const RetryPolicy& policy,
+                                         const obs::Histogram* service_time) {
+  if (policy.deadline_multiplier <= 0 || service_time == nullptr ||
+      service_time->count() < policy.deadline_min_samples) {
+    return policy.attempt_timeout;
+  }
+  const Seconds adaptive =
+      std::max(policy.deadline_floor,
+               policy.deadline_multiplier *
+                   service_time->quantile(policy.deadline_quantile));
+  if (policy.attempt_timeout <= 0) return adaptive;
+  return std::min(policy.attempt_timeout, adaptive);
+}
 
 /// The backoff sleep before attempt `next_attempt`, with the policy's
 /// jitter applied. Jitter is *deterministic*: the draw is a pure function

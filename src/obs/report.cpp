@@ -176,6 +176,12 @@ void RunReport::write_json(std::ostream& out) const {
     uint_field(out, "injected_corruptions", io.injected_corruptions, f);
     uint_field(out, "corrupt_chunks", io.corrupt_chunks, f);
     uint_field(out, "quarantined_servers", io.quarantined_servers, f);
+    uint_field(out, "hedges_launched", io.hedges_launched, f);
+    uint_field(out, "hedge_wins", io.hedge_wins, f);
+    uint_field(out, "hedge_cancels", io.hedge_cancels, f);
+    uint_field(out, "chunks_stolen", io.chunks_stolen, f);
+    uint_field(out, "deadline_expired", io.deadline_expired, f);
+    uint_field(out, "breaker_reopened", io.breaker_reopened, f);
     hist_field(out, "queue_depth", io.queue_depth, f);
     hist_field(out, "service_time", io.service_time, f);
     hist_field(out, "submit_latency", io.submit_latency, f);

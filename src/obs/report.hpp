@@ -110,6 +110,14 @@ struct RunReport {
     std::uint64_t injected_corruptions = 0;
     std::uint64_t corrupt_chunks = 0;
     std::uint64_t quarantined_servers = 0;
+    // Straggler-defense counters (schema v1 additive, PR 9): zero unless
+    // the straggler scheduler ran.
+    std::uint64_t hedges_launched = 0;
+    std::uint64_t hedge_wins = 0;
+    std::uint64_t hedge_cancels = 0;
+    std::uint64_t chunks_stolen = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t breaker_reopened = 0;
   };
   Io io;
 

@@ -49,7 +49,73 @@ struct PfsConfig {
   /// Circuit breaker: consecutive chunk failures on one stripe directory
   /// before it is quarantined (0 disables the breaker).
   std::size_t quarantine_threshold = 0;
+
+  /// Half-open probe: a quarantined stripe directory is re-probed after
+  /// this long — the breaker admits traffic again and the first chunk
+  /// outcome decides whether the server rejoins (success closes the
+  /// breaker and bumps `pfs.breaker_reopened`) or is re-quarantined.
+  /// 0 keeps the pre-probe behavior: quarantined until remount.
+  Seconds breaker_probe_interval = 0;
+
+  // ----------------------- straggler defense (DESIGN.md §12) -------------
+  // The adaptive client-side scheduler: per-server quantile deadlines,
+  // queue reordering/stealing, hedged replica reads, and per-server
+  // list-I/O coalescing. OFF by default so the paper's baseline shapes
+  // (stripe-sweep bottleneck, straggler degradation curve) are preserved;
+  // the environment variable PSTAP_STRAGGLER_SCHED overrides this flag at
+  // mount time ("0"/"off" forces it off, anything else forces it on).
+
+  /// Master switch for the straggler-aware scheduler (deadlines, queue
+  /// reorder/steal, list-I/O coalescing of multi-chunk requests).
+  bool straggler_sched = false;
+
+  /// Hedged (speculative) reads: when a chunk outlives its quantile
+  /// deadline and a replica exists, launch a backup read against the
+  /// replica server and take the first completion. Only effective with
+  /// straggler_sched on and replicas == 2.
+  bool hedged_reads = true;
+
+  /// Per-server service-time quantile feeding chunk deadlines (p99 by
+  /// default, per Tavakoli-style client-side scheduling).
+  double deadline_quantile = 0.99;
+
+  /// Chunk deadline = hedge_multiplier x the healthy-server quantile (the
+  /// median across servers, so one straggler cannot inflate its own
+  /// deadline and dodge hedging).
+  double hedge_multiplier = 2.0;
+
+  /// Deadline floor while histograms warm up (and the minimum hedge wait).
+  Seconds deadline_floor = 2e-3;
+
+  /// Per-server samples inside the rolling window before its quantiles are
+  /// trusted; cold servers fall back to the floor.
+  std::size_t deadline_min_samples = 16;
+
+  /// Scheduler scan period (hedge launches, queue reorder, stealing).
+  Seconds sched_tick = 5e-4;
+
+  /// Rolling-quantile window: the scheduler re-baselines its per-server
+  /// histogram deltas this often, so a recovered server sheds its slow
+  /// history instead of dragging it forever.
+  Seconds sched_window = 250e-3;
+
+  /// A server is "slow" (steal candidate) when its rolling p50 exceeds
+  /// steal_factor x the healthy median p50.
+  double steal_factor = 2.0;
+
+  // Built-in straggler *emulation* for benches/tests — the functional twin
+  // of sim::MachineModel::straggler_{servers,slowdown}: the first
+  // `straggler_servers` stripe directories service at modeled rate x
+  // `straggler_slowdown`. Unlike fault-injected delays, the slowdown
+  // scales with the bytes actually moved, so list-I/O coalescing is
+  // neither penalized nor subsidized by the emulation.
+  std::size_t straggler_servers = 0;
+  double straggler_slowdown = 1.0;
 };
+
+/// Apply the PSTAP_STRAGGLER_SCHED environment override (if set) to
+/// `config.straggler_sched`. Called by StripedFileSystem at mount.
+void apply_env_overrides(PfsConfig& config);
 
 /// Paragon-PFS-like presets used throughout tests and benches.
 PfsConfig paragon_pfs(std::size_t stripe_factor);

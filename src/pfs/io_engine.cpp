@@ -12,14 +12,18 @@
 #include "common/fault.hpp"
 #include "common/wall_clock.hpp"
 #include "obs/trace.hpp"
+#include "pfs/straggler_scheduler.hpp"
 
 namespace pstap::pfs {
 
-IoEngine::IoEngine(std::size_t servers, double bandwidth, double latency,
-                   std::size_t quarantine_threshold)
-    : bandwidth_(bandwidth),
-      latency_(latency),
-      quarantine_threshold_(quarantine_threshold) {
+IoEngine::IoEngine(const PfsConfig& config)
+    : bandwidth_(config.server_bandwidth),
+      latency_(config.server_latency),
+      quarantine_threshold_(config.quarantine_threshold),
+      breaker_probe_interval_(config.breaker_probe_interval),
+      straggler_servers_(config.straggler_servers),
+      straggler_slowdown_(config.straggler_slowdown) {
+  const std::size_t servers = config.stripe_factor;
   PSTAP_REQUIRE(servers >= 1, "IoEngine needs at least one server");
   queues_.reserve(servers);
   breakers_.reserve(servers);
@@ -47,9 +51,15 @@ IoEngine::IoEngine(std::size_t servers, double bandwidth, double latency,
   for (std::size_t s = 0; s < servers; ++s) {
     threads_.emplace_back([this, s] { service_loop(s); });
   }
+  if (config.straggler_sched) {
+    scheduler_ = std::make_unique<StragglerScheduler>(*this, config);
+  }
 }
 
 IoEngine::~IoEngine() {
+  // The scheduler reorders/steals inside queue locks and submits hedge
+  // jobs — join it before the queues start draining toward shutdown.
+  scheduler_.reset();
   for (auto& q : queues_) {
     {
       std::lock_guard lock(q->mu);
@@ -66,14 +76,30 @@ IoRequest IoEngine::make_request(std::size_t chunks) {
   return IoRequest(std::move(state));
 }
 
-void IoEngine::submit(std::size_t server, Job job) {
+void IoEngine::submit(std::size_t server, Job job, bool front) {
+  if (scheduler_ && !job.is_hedge) {
+    job.server = server;
+    job.deadline = scheduler_->assign_deadline(server);
+    // Hedge-capable read: the scheduler watches it and may race a replica
+    // copy against it once it outlives its quantile deadline.
+    if (job.chunk && job.replica_fd >= 0) scheduler_->track(job);
+  }
+  enqueue(server, std::move(job), front);
+}
+
+void IoEngine::enqueue(std::size_t server, Job job, bool front) {
   PSTAP_REQUIRE(server < queues_.size(), "server index out of range");
   PSTAP_REQUIRE(job.state != nullptr, "job has no request state");
+  job.server = server;
   Queue& q = *queues_[server];
   std::size_t depth = 0;
   {
     std::lock_guard lock(q.mu);
-    q.jobs.push_back(std::move(job));
+    if (front) {
+      q.jobs.push_front(std::move(job));
+    } else {
+      q.jobs.push_back(std::move(job));
+    }
     depth = q.jobs.size();
   }
   // Depth sampled at submit time: with a small stripe factor the same
@@ -88,6 +114,143 @@ void IoEngine::submit(std::size_t server, Job job) {
   q.cv.notify_one();
 }
 
+bool IoEngine::quarantined(std::size_t server) const {
+  Breaker& breaker = *breakers_[server];
+  int state = breaker.state.load(std::memory_order_acquire);
+  if (state == Breaker::kClosed) return false;
+  if (state == Breaker::kOpen && breaker_probe_interval_ > 0 &&
+      monotonic_now() - breaker.opened_at.load(std::memory_order_relaxed) >=
+          breaker_probe_interval_) {
+    // Interval elapsed: decay open -> half-open. The caller (a client about
+    // to route a chunk) becomes the probe — its outcome closes or re-opens.
+    int expected = Breaker::kOpen;
+    breaker.state.compare_exchange_strong(expected, Breaker::kHalfOpen,
+                                          std::memory_order_acq_rel);
+    state = breaker.state.load(std::memory_order_acquire);
+  }
+  return state == Breaker::kOpen;
+}
+
+// Transfer the job's pieces between disk and memory. Hedge-capable reads
+// land in `hedge_scratch` (one flat buffer, pieces packed in order) so the
+// caller's buffer is only written by the twin that wins the claim.
+void IoEngine::service_job(std::size_t server, Job& job,
+                           std::vector<std::byte>& hedge_scratch) {
+  // Fault injection: armed delays sleep here (inside the service thread, so
+  // they occupy this stripe directory exactly like a slow disk); armed
+  // errors throw and are captured as the job's error; a partial-read
+  // decision truncates the transfer and then fails it; a corruption
+  // decision bit-flips the payload — caught below when the unit has a
+  // recorded checksum. One decision per job: with list-I/O a coalesced job
+  // is one server request, so it draws one fault like any other request.
+  const fault::Decision decision =
+      fault::inject(job.is_write ? write_sites_[server] : read_sites_[server]);
+  const std::size_t total = job.total_len();
+  const std::size_t effective_total =
+      (!job.is_write && decision.deliver_fraction < 1.0)
+          ? static_cast<std::size_t>(static_cast<double>(total) *
+                                     decision.deliver_fraction)
+          : total;
+  std::size_t budget = effective_total;
+
+  // Raw positioned transfer of `len` bytes at segment offset `offset`.
+  const auto transfer = [&job](std::byte* buf, std::uint64_t offset,
+                               std::size_t len, bool is_write) {
+    std::size_t moved = 0;
+    while (moved < len) {
+      const ssize_t n =
+          is_write ? ::pwrite(job.fd, buf + moved, len - moved,
+                              static_cast<off_t>(offset + moved))
+                   : ::pread(job.fd, buf + moved, len - moved,
+                             static_cast<off_t>(offset + moved));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        PSTAP_IO_FAIL(is_write ? "pwrite failed" : "pread failed", errno);
+      }
+      if (n == 0) PSTAP_IO_FAIL("unexpected EOF inside a striped segment", 0);
+      moved += static_cast<std::size_t>(n);
+    }
+  };
+
+  bool corrupt_pending = decision.corrupt;
+  std::size_t scratch_off = 0;
+  for (const Piece& piece : job.pieces) {
+    // A twin claimed the chunk mid-service: the rest of this job's work is
+    // dead — stop transferring. The completion path discards the result.
+    if (job.chunk && job.chunk->claimed.load(std::memory_order_acquire)) return;
+
+    std::byte* dest = job.chunk ? hedge_scratch.data() + scratch_off : piece.buf;
+    scratch_off += piece.len;
+    const std::size_t piece_len = std::min(piece.len, budget);
+    budget -= piece_len;
+
+    const std::uint64_t in_unit = piece.offset - piece.unit_seg_offset;
+    std::optional<ChecksumCatalog::Entry> entry;
+    if (job.checksums != nullptr) {
+      entry = job.checksums->lookup(job.file_id, piece.unit_index);
+    }
+
+    if (!job.is_write && entry && piece_len == piece.len &&
+        in_unit + piece.len <= entry->valid_len) {
+      // Verified read: serve the unit's whole checksummed prefix into a
+      // scratch buffer, check it end-to-end against the CRC recorded at
+      // write time, then hand only the requested sub-range over — a
+      // corrupted payload never lands in the consumer's buffer.
+      std::vector<std::byte> scratch(entry->valid_len);
+      transfer(scratch.data(), piece.unit_seg_offset, scratch.size(),
+               /*is_write=*/false);
+      if (corrupt_pending && piece.len > 0) {
+        scratch[in_unit + piece.len / 2] ^= std::byte{0xFF};
+        corrupt_pending = false;
+      }
+      if (crc32c(scratch.data(), scratch.size()) != entry->crc) {
+        corrupt_chunks_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::trace_enabled()) {
+          obs::TraceRecorder::global().instant(
+              "io", "io.checksum_mismatch",
+              obs::kIoServerPidBase + static_cast<std::int32_t>(server), -1,
+              read_sites_[server]);
+        }
+        throw ChecksumError("checksum mismatch in unit " +
+                            std::to_string(piece.unit_index) + " served by " +
+                            read_sites_[server]);
+      }
+      std::copy_n(scratch.data() + in_unit, piece.len, dest);
+    } else {
+      transfer(dest, piece.offset, piece_len, job.is_write);
+      if (!job.is_write && corrupt_pending && piece.len > 0) {
+        // No checksum recorded for this unit: the flip is silent, which
+        // is exactly the exposure the catalog exists to close.
+        dest[piece.len / 2] ^= std::byte{0xFF};
+        corrupt_pending = false;
+      }
+      if (job.is_write && job.checksums != nullptr) {
+        if (in_unit == 0) {
+          job.checksums->store(job.file_id, piece.unit_index,
+                               {crc32c(dest, piece.len), piece.len});
+        } else {
+          // A rewrite not aligned to the unit start leaves the recorded
+          // CRC stale — drop it rather than verify against garbage.
+          job.checksums->invalidate(job.file_id, piece.unit_index);
+        }
+        if (corrupt_pending && piece.len > 0) {
+          // Persistent media corruption: flip one byte on disk *after*
+          // recording the intent CRC, so the next read detects it.
+          std::byte flipped = dest[piece.len / 2] ^ std::byte{0xFF};
+          transfer(&flipped, piece.offset + piece.len / 2, 1, /*is_write=*/true);
+          corrupt_pending = false;
+        }
+      }
+    }
+  }
+  if (effective_total < total) {
+    throw fault::InjectedError("injected partial read: served " +
+                                   std::to_string(effective_total) + " of " +
+                                   std::to_string(total) + " bytes",
+                               /*permanent=*/false);
+  }
+}
+
 void IoEngine::service_loop(std::size_t server) {
   Queue& q = *queues_[server];
   for (;;) {
@@ -100,105 +263,29 @@ void IoEngine::service_loop(std::size_t server) {
       q.jobs.pop_front();
     }
 
+    // A hedged twin already claimed this chunk: discard unserviced — no
+    // completion (the claimant completed), no bytes/histogram samples (the
+    // chunk is serviced once), no breaker outcome (nothing was attempted).
+    if (job.chunk && job.chunk->claimed.load(std::memory_order_acquire)) {
+      hedge_cancels_.fetch_add(1, std::memory_order_relaxed);
+      job.chunk->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (job.chunk && !job.is_hedge) {
+      // The scheduler's hedge clock starts at first service, so a hedge
+      // races the straggler's service time, not its queue (queued work is
+      // the steal path's problem).
+      job.chunk->started_at.store(monotonic_now(), std::memory_order_release);
+    }
+
     const std::int64_t started_ns = obs::trace_now_ns();
     const Seconds started = monotonic_now();
+    const std::size_t total = job.total_len();
     std::exception_ptr error;
+    std::vector<std::byte> hedge_scratch;
+    if (job.chunk) hedge_scratch.resize(total);
     try {
-      // Fault injection: armed delays sleep here (inside the service
-      // thread, so they occupy this stripe directory exactly like a slow
-      // disk); armed errors throw and are captured as the chunk's error; a
-      // partial-read decision truncates the transfer and then fails it; a
-      // corruption decision bit-flips the payload — caught below when the
-      // unit has a recorded checksum.
-      const fault::Decision decision =
-          fault::inject(job.is_write ? write_sites_[server] : read_sites_[server]);
-      std::size_t effective_len = job.len;
-      if (!job.is_write && decision.deliver_fraction < 1.0) {
-        effective_len =
-            static_cast<std::size_t>(static_cast<double>(job.len) * decision.deliver_fraction);
-      }
-
-      // Raw positioned transfer of `len` bytes at segment offset `offset`.
-      const auto transfer = [&job](std::byte* buf, std::uint64_t offset,
-                                   std::size_t len, bool is_write) {
-        std::size_t moved = 0;
-        while (moved < len) {
-          const ssize_t n =
-              is_write ? ::pwrite(job.fd, buf + moved, len - moved,
-                                  static_cast<off_t>(offset + moved))
-                       : ::pread(job.fd, buf + moved, len - moved,
-                                 static_cast<off_t>(offset + moved));
-          if (n < 0) {
-            if (errno == EINTR) continue;
-            PSTAP_IO_FAIL(is_write ? "pwrite failed" : "pread failed", errno);
-          }
-          if (n == 0) PSTAP_IO_FAIL("unexpected EOF inside a striped segment", 0);
-          moved += static_cast<std::size_t>(n);
-        }
-      };
-
-      const std::uint64_t in_unit = job.offset - job.unit_seg_offset;
-      std::optional<ChecksumCatalog::Entry> entry;
-      if (job.checksums != nullptr) {
-        entry = job.checksums->lookup(job.file_id, job.unit_index);
-      }
-
-      if (!job.is_write && entry && effective_len == job.len &&
-          in_unit + job.len <= entry->valid_len) {
-        // Verified read: serve the unit's whole checksummed prefix into a
-        // scratch buffer, check it end-to-end against the CRC recorded at
-        // write time, then hand only the requested sub-range over — a
-        // corrupted payload never lands in the consumer's buffer.
-        std::vector<std::byte> scratch(entry->valid_len);
-        transfer(scratch.data(), job.unit_seg_offset, scratch.size(),
-                 /*is_write=*/false);
-        if (decision.corrupt && job.len > 0) {
-          scratch[in_unit + job.len / 2] ^= std::byte{0xFF};
-        }
-        if (crc32c(scratch.data(), scratch.size()) != entry->crc) {
-          corrupt_chunks_.fetch_add(1, std::memory_order_relaxed);
-          if (obs::trace_enabled()) {
-            obs::TraceRecorder::global().instant(
-                "io", "io.checksum_mismatch",
-                obs::kIoServerPidBase + static_cast<std::int32_t>(server), -1,
-                read_sites_[server]);
-          }
-          throw ChecksumError("checksum mismatch in unit " +
-                              std::to_string(job.unit_index) + " served by " +
-                              read_sites_[server]);
-        }
-        std::copy_n(scratch.data() + in_unit, job.len, job.buf);
-      } else {
-        transfer(job.buf, job.offset, effective_len, job.is_write);
-        if (!job.is_write && decision.corrupt && job.len > 0) {
-          // No checksum recorded for this unit: the flip is silent, which
-          // is exactly the exposure the catalog exists to close.
-          job.buf[job.len / 2] ^= std::byte{0xFF};
-        }
-        if (job.is_write && job.checksums != nullptr) {
-          if (in_unit == 0) {
-            job.checksums->store(job.file_id, job.unit_index,
-                                 {crc32c(job.buf, job.len), job.len});
-          } else {
-            // A rewrite not aligned to the unit start leaves the recorded
-            // CRC stale — drop it rather than verify against garbage.
-            job.checksums->invalidate(job.file_id, job.unit_index);
-          }
-          if (decision.corrupt && job.len > 0) {
-            // Persistent media corruption: flip one byte on disk *after*
-            // recording the intent CRC, so the next read detects it.
-            std::byte flipped = job.buf[job.len / 2] ^ std::byte{0xFF};
-            transfer(&flipped, job.offset + job.len / 2, 1, /*is_write=*/true);
-          }
-        }
-      }
-      if (effective_len < job.len) {
-        throw fault::InjectedError("injected partial read: served " +
-                                       std::to_string(effective_len) + " of " +
-                                       std::to_string(job.len) + " bytes",
-                                   /*permanent=*/false);
-      }
-      bytes_serviced_.fetch_add(job.len, std::memory_order_relaxed);
+      service_job(server, job, hedge_scratch);
     } catch (...) {
       error = std::current_exception();
     }
@@ -206,17 +293,24 @@ void IoEngine::service_loop(std::size_t server) {
 
     // Model the finite service rate of a real I/O server: if the local disk
     // finished faster than the modeled transfer, sleep out the remainder.
+    // Straggler emulation scales the whole modeled time, so the slowdown
+    // tracks the bytes actually moved (a coalesced list job on a straggler
+    // pays proportionally, same as its split form would).
     if (bandwidth_ > 0.0 || latency_ > 0.0) {
+      const double scale =
+          server < straggler_servers_ ? straggler_slowdown_ : 1.0;
       const double modeled =
-          latency_ + (bandwidth_ > 0.0 ? static_cast<double>(job.len) / bandwidth_ : 0.0);
+          scale * (latency_ + (bandwidth_ > 0.0
+                                   ? static_cast<double>(total) / bandwidth_
+                                   : 0.0));
       const double remaining = modeled - (monotonic_now() - started);
       if (remaining > 0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
       }
     }
 
-    // Per-chunk service time (dequeue -> completion, modeled sleep
-    // included) — one clock pair feeds both the histogram and the span.
+    // Per-job service time (dequeue -> completion, modeled sleep included)
+    // — one clock pair feeds both the histogram and the span.
     const std::int64_t served_ns = obs::trace_now_ns() - started_ns;
     service_time_.record(static_cast<double>(served_ns) * 1e-9);
     server_service_time_[server]->record(static_cast<double>(served_ns) * 1e-9);
@@ -228,7 +322,37 @@ void IoEngine::service_loop(std::size_t server) {
           error ? "failed" : std::string_view{});
     }
 
-    job.state->complete_one(error);
+    if (!job.chunk) {
+      // Plain (unhedged) job: sole owner of its completion.
+      if (!error) bytes_serviced_.fetch_add(total, std::memory_order_relaxed);
+      job.state->complete_one(error);
+      continue;
+    }
+
+    // Hedge-capable job: exactly one twin claims the chunk. The claimant
+    // copies its scratch bytes into the caller's buffer and completes; a
+    // serviced loser discards everything. An error completes the chunk
+    // only from the LAST outstanding twin (claim() still guards against a
+    // racing success).
+    if (!error) {
+      if (job.chunk->claim()) {
+        std::size_t off = 0;
+        for (const Piece& piece : job.pieces) {
+          std::copy_n(hedge_scratch.data() + off, piece.len, piece.buf);
+          off += piece.len;
+        }
+        bytes_serviced_.fetch_add(total, std::memory_order_relaxed);
+        if (job.is_hedge) hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+        job.state->complete_one(nullptr);
+      } else {
+        hedge_cancels_.fetch_add(1, std::memory_order_relaxed);
+      }
+      job.chunk->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      const int left =
+          job.chunk->outstanding.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      if (left == 0 && job.chunk->claim()) job.state->complete_one(error);
+    }
   }
 }
 
@@ -236,12 +360,37 @@ void IoEngine::note_outcome(std::size_t server, bool failed) {
   Breaker& breaker = *breakers_[server];
   if (!failed) {
     breaker.consecutive_failures.store(0, std::memory_order_relaxed);
+    // A successful probe through a half-open breaker closes it: the stripe
+    // directory rejoins the healthy set.
+    int expected = Breaker::kHalfOpen;
+    if (breaker.state.compare_exchange_strong(expected, Breaker::kClosed,
+                                              std::memory_order_acq_rel)) {
+      breaker_reopened_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::trace_enabled()) {
+        obs::TraceRecorder::global().instant(
+            "io", "io.breaker_reopened",
+            obs::kIoServerPidBase + static_cast<std::int32_t>(server), -1,
+            read_sites_[server]);
+      }
+    }
     return;
   }
   const std::size_t failures =
       breaker.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  // A failed probe re-opens immediately for another probe interval.
+  int expected = Breaker::kHalfOpen;
+  if (breaker.state.compare_exchange_strong(expected, Breaker::kOpen,
+                                            std::memory_order_acq_rel)) {
+    breaker.opened_at.store(monotonic_now(), std::memory_order_relaxed);
+    return;
+  }
   if (quarantine_threshold_ == 0 || failures < quarantine_threshold_) return;
-  if (breaker.quarantined.exchange(true, std::memory_order_relaxed)) return;
+  expected = Breaker::kClosed;
+  if (!breaker.state.compare_exchange_strong(expected, Breaker::kOpen,
+                                             std::memory_order_acq_rel)) {
+    return;  // already open (or mid-probe) — count the trip once
+  }
+  breaker.opened_at.store(monotonic_now(), std::memory_order_relaxed);
   quarantined_count_.fetch_add(1, std::memory_order_relaxed);
   if (obs::trace_enabled()) {
     obs::TraceRecorder::global().instant(

@@ -26,8 +26,11 @@
 #include "common/retry.hpp"
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
+#include "pfs/config.hpp"
 
 namespace pstap::pfs {
+
+class StragglerScheduler;
 
 /// Raised when a serviced chunk fails CRC32C verification. Derives IoError
 /// (and is not permanent), so retry layers re-read the chunk — corruption
@@ -103,6 +106,23 @@ struct RequestState {
     if (--pending == 0) cv.notify_all();
   }
 };
+
+/// Completion state shared between the (up to two) jobs racing to serve one
+/// hedged chunk. Exactly one job "claims" the chunk: the claimant copies
+/// its bytes into the caller's buffer and calls complete_one; every other
+/// job discards its result without touching user memory, metrics, or the
+/// checksum catalog. An error only completes the chunk when it comes from
+/// the LAST outstanding job (an earlier loser's failure must not preempt a
+/// twin that may still succeed).
+struct ChunkState {
+  std::atomic<bool> claimed{false};
+  std::atomic<int> outstanding{1};  ///< jobs that may still serve this chunk
+  std::atomic<bool> hedged{false};  ///< a backup job was (or will be) issued
+  std::atomic<double> started_at{0.0};  ///< monotonic start of first service
+
+  /// True for the caller that wins the exclusive right to complete.
+  bool claim() { return !claimed.exchange(true, std::memory_order_acq_rel); }
+};
 }  // namespace detail
 
 /// Handle to an in-flight asynchronous read (the paper's iread handle;
@@ -174,31 +194,54 @@ inline void wait_with_timeout(IoRequest& req, Seconds timeout,
 /// throttling.
 class IoEngine {
  public:
-  /// One job: transfer `len` bytes between file descriptor `fd` at segment
-  /// offset `offset` and memory `buf`. The integrity fields are optional:
-  /// when `checksums` is set the job lies within stripe unit `unit_index`
-  /// of file `file_id`, whose data starts at segment offset
-  /// `unit_seg_offset` — writes record the unit's CRC32C there, reads
-  /// verify against it.
-  struct Job {
-    int fd = -1;
+  /// One piece of a (possibly list-I/O) job: transfer `len` bytes between
+  /// segment offset `offset` and memory `buf`. The integrity fields tie
+  /// the piece to stripe unit `unit_index` of the file, whose data starts
+  /// at segment offset `unit_seg_offset` — writes record the unit's CRC32C
+  /// in the catalog, reads verify against it.
+  struct Piece {
     std::uint64_t offset = 0;
     std::byte* buf = nullptr;
     std::size_t len = 0;
-    bool is_write = false;
-    std::shared_ptr<detail::RequestState> state;
-    ChecksumCatalog* checksums = nullptr;
-    std::uint64_t file_id = 0;
     std::uint64_t unit_index = 0;
     std::uint64_t unit_seg_offset = 0;
   };
 
-  /// `servers` threads; each services its queue at `bandwidth` bytes/s
-  /// (0 = unthrottled) plus `latency` seconds fixed cost per chunk.
-  /// `quarantine_threshold` > 0 arms the circuit breaker: that many
-  /// *consecutive* chunk failures quarantine the stripe directory.
-  IoEngine(std::size_t servers, double bandwidth, double latency,
-           std::size_t quarantine_threshold = 0);
+  /// One job serviced by one stripe-directory thread. With the straggler
+  /// scheduler OFF a job is one stripe-unit chunk (`pieces` holds exactly
+  /// one entry). With it ON, a logical request is coalesced into one
+  /// list-I/O job per server: `pieces` carries every noncontiguous range
+  /// that server owns, serviced in one dequeue (the per-job fixed latency
+  /// is paid once — the Ching et al. list-I/O effect).
+  struct Job {
+    int fd = -1;
+    bool is_write = false;
+    std::vector<Piece> pieces;
+    std::shared_ptr<detail::RequestState> state;
+    ChecksumCatalog* checksums = nullptr;
+    std::uint64_t file_id = 0;
+
+    // --- straggler-scheduler fields (inert when the scheduler is off) ---
+    std::shared_ptr<detail::ChunkState> chunk;  ///< hedge-capable jobs only
+    int replica_fd = -1;             ///< fd of the replica copy, or -1
+    std::size_t replica_server = 0;  ///< queue holding the replica copy
+    std::size_t server = 0;          ///< queue this job was submitted to
+    Seconds deadline = 0;            ///< absolute monotonic deadline (0 = none)
+    bool is_hedge = false;           ///< this is the speculative backup job
+
+    std::size_t total_len() const {
+      std::size_t n = 0;
+      for (const Piece& p : pieces) n += p.len;
+      return n;
+    }
+  };
+
+  /// One service thread per stripe directory (`config.stripe_factor`);
+  /// each services its queue at `config.server_bandwidth` bytes/s (0 =
+  /// unthrottled) plus `config.server_latency` seconds fixed cost per job.
+  /// `config.quarantine_threshold` > 0 arms the circuit breaker;
+  /// `config.straggler_sched` starts the StragglerScheduler thread.
+  explicit IoEngine(const PfsConfig& config);
   ~IoEngine();
 
   IoEngine(const IoEngine&) = delete;
@@ -209,10 +252,13 @@ class IoEngine {
   /// Create a request expecting `chunks` completions.
   IoRequest make_request(std::size_t chunks);
 
-  /// Enqueue one chunk on stripe-directory `server`'s queue.
-  void submit(std::size_t server, Job job);
+  /// Enqueue one job on stripe-directory `server`'s queue. `front` pushes
+  /// to the head of the queue (hedge backups jump the line so the race is
+  /// against service time, not queue depth).
+  void submit(std::size_t server, Job job, bool front = false);
 
   /// Total bytes serviced so far (reads + writes), for tests/benches.
+  /// Hedge losers are excluded: a chunk's bytes count exactly once.
   std::uint64_t bytes_serviced() const;
 
   /// Chunks whose served bytes failed CRC32C verification (each raised a
@@ -226,10 +272,38 @@ class IoEngine {
     return quarantined_count_.load(std::memory_order_relaxed);
   }
 
-  /// True when `server`'s circuit breaker has opened — clients holding a
-  /// replica should redirect reads away from it.
-  bool quarantined(std::size_t server) const {
-    return breakers_[server]->quarantined.load(std::memory_order_relaxed);
+  /// True when `server`'s circuit breaker is open — clients holding a
+  /// replica should redirect reads away from it. With a probe interval
+  /// configured, an open breaker transitions to half-open once the
+  /// interval elapses and this returns false: the next client chunk is the
+  /// probe, and its outcome closes the breaker (server rejoins,
+  /// `breaker_reopened` bumps) or re-opens it for another interval.
+  bool quarantined(std::size_t server) const;
+
+  // ------------------------------------------- straggler-defense counters --
+  /// Speculative backup reads launched past a quantile deadline.
+  std::uint64_t hedges_launched() const {
+    return hedges_launched_.load(std::memory_order_relaxed);
+  }
+  /// Hedged chunks where the backup beat the original.
+  std::uint64_t hedge_wins() const {
+    return hedge_wins_.load(std::memory_order_relaxed);
+  }
+  /// Jobs discarded unserviced because their twin already claimed the chunk.
+  std::uint64_t hedge_cancels() const {
+    return hedge_cancels_.load(std::memory_order_relaxed);
+  }
+  /// Queued jobs moved from a slow server's queue to its replica server.
+  std::uint64_t chunks_stolen() const {
+    return chunks_stolen_.load(std::memory_order_relaxed);
+  }
+  /// Jobs observed in flight past their quantile deadline.
+  std::uint64_t deadline_expired() const {
+    return deadline_expired_.load(std::memory_order_relaxed);
+  }
+  /// Quarantined stripe directories re-admitted by a half-open probe.
+  std::uint64_t breaker_reopened() const {
+    return breaker_reopened_.load(std::memory_order_relaxed);
   }
 
   // ------------------------------------------------------- observability --
@@ -256,6 +330,8 @@ class IoEngine {
   void record_submit_latency(double seconds) { submit_latency_.record(seconds); }
 
  private:
+  friend class StragglerScheduler;  // reorders/steals inside queue locks
+
   struct Queue {
     std::mutex mu;
     std::condition_variable cv;
@@ -263,24 +339,44 @@ class IoEngine {
     bool stop = false;
   };
 
-  /// Per-server circuit breaker: consecutive chunk failures trip it open.
+  /// Per-server circuit breaker: consecutive chunk failures trip it open;
+  /// with a probe interval, open decays to half-open where one client
+  /// chunk is admitted as the probe.
   struct Breaker {
+    enum State : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
     std::atomic<std::size_t> consecutive_failures{0};
-    std::atomic<bool> quarantined{false};
+    std::atomic<int> state{kClosed};
+    std::atomic<double> opened_at{0.0};  ///< monotonic seconds when opened
   };
 
+  /// submit() minus deadline assignment and hedge tracking — the raw
+  /// enqueue used by the scheduler for hedge twins and stolen jobs (which
+  /// must not be re-tracked or re-deadlined).
+  void enqueue(std::size_t server, Job job, bool front);
+
   void service_loop(std::size_t server);
+  void service_job(std::size_t server, Job& job,
+                   std::vector<std::byte>& hedge_scratch);
   void note_outcome(std::size_t server, bool failed);
 
   double bandwidth_;
   double latency_;
   std::size_t quarantine_threshold_;
+  Seconds breaker_probe_interval_;
+  std::size_t straggler_servers_;
+  double straggler_slowdown_;
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::unique_ptr<Breaker>> breakers_;
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> bytes_serviced_{0};
   std::atomic<std::uint64_t> corrupt_chunks_{0};
   std::atomic<std::uint64_t> quarantined_count_{0};
+  std::atomic<std::uint64_t> hedges_launched_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
+  std::atomic<std::uint64_t> hedge_cancels_{0};
+  std::atomic<std::uint64_t> chunks_stolen_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> breaker_reopened_{0};
   obs::Histogram queue_depth_;
   obs::Histogram service_time_;
   obs::Histogram submit_latency_;
@@ -290,6 +386,9 @@ class IoEngine {
   std::vector<std::string> read_sites_;   // "pfs.server.read.sdNNN"
   std::vector<std::string> write_sites_;  // "pfs.server.write.sdNNN"
   std::vector<std::string> depth_names_;  // "queue_depth.sdNNN"
+  // Declared last: the scheduler thread touches the members above, so it
+  // must be destroyed (joined) first.
+  std::unique_ptr<StragglerScheduler> scheduler_;
 };
 
 }  // namespace pstap::pfs

@@ -4,9 +4,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pfs/io_engine.hpp"
@@ -74,16 +76,36 @@ class StripedFile {
     write(offset, std::as_bytes(data));
   }
 
+  /// Owning file system (for engine/config introspection, e.g. feeding
+  /// service-time quantiles into deadline-aware retry policies).
+  StripedFileSystem* filesystem() const noexcept { return fs_; }
+
  private:
   friend class StripedFileSystem;
   StripedFile(StripedFileSystem* fs, std::string name, std::uint64_t file_id,
               std::vector<int> segment_fds, std::vector<int> replica_fds);
 
-  /// Split [offset, offset+len) into per-stripe-unit jobs and submit them.
+  /// Jobs for one logical request, accumulated before dispatch. With
+  /// `coalesce` set (straggler scheduler on) chunks landing on the same
+  /// (server, segment fd) merge into ONE list-I/O job — pieces of every
+  /// gather segment included — so a strided slab becomes one request per
+  /// server instead of one per chunk; otherwise one single-piece job per
+  /// chunk (the paper's baseline shape).
+  struct Batch {
+    std::vector<IoEngine::Job> jobs;
+    std::map<std::pair<std::size_t, int>, std::size_t> slot;  // (server,fd)
+    bool coalesce = false;
+  };
+
+  /// Split [offset, offset+len) into per-stripe-unit pieces and append
+  /// them to the batch (replica redirect and write mirroring included).
+  void append_jobs(Batch& batch, std::uint64_t offset, std::byte* buf,
+                   std::size_t len, bool is_write);
+
+  /// Create the request, attach state (and hedge chunk states), submit.
+  IoRequest dispatch(Batch&& batch);
+
   IoRequest submit(std::uint64_t offset, std::byte* buf, std::size_t len, bool is_write);
-  std::size_t count_chunks(std::uint64_t offset, std::size_t len) const;
-  void submit_jobs(std::uint64_t offset, std::byte* buf, std::size_t len, bool is_write,
-                   const std::shared_ptr<detail::RequestState>& state);
   bool replicated() const noexcept { return !replica_fds_.empty(); }
 
   StripedFileSystem* fs_ = nullptr;

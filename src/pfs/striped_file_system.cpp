@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <fstream>
 
 #include "common/error.hpp"
@@ -23,6 +24,13 @@ PfsConfig paragon_pfs(std::size_t stripe_factor) {
   return cfg;
 }
 
+void apply_env_overrides(PfsConfig& config) {
+  if (const char* env = std::getenv("PSTAP_STRAGGLER_SCHED")) {
+    const std::string v = env;
+    config.straggler_sched = !(v == "0" || v == "off" || v == "OFF");
+  }
+}
+
 PfsConfig piofs(std::size_t stripe_factor) {
   PfsConfig cfg;
   cfg.name = "piofs-sf" + std::to_string(stripe_factor);
@@ -34,6 +42,7 @@ PfsConfig piofs(std::size_t stripe_factor) {
 
 StripedFileSystem::StripedFileSystem(fs::path root, PfsConfig config)
     : root_(std::move(root)), config_(std::move(config)) {
+  apply_env_overrides(config_);
   PSTAP_REQUIRE(config_.stripe_factor >= 1, "stripe factor must be >= 1");
   PSTAP_REQUIRE(config_.stripe_unit >= 1, "stripe unit must be >= 1 byte");
   PSTAP_REQUIRE(config_.replicas >= 1 && config_.replicas <= 2,
@@ -72,9 +81,7 @@ StripedFileSystem::StripedFileSystem(fs::path root, PfsConfig config)
     fs::create_directories(root_ / dir, ec);
     if (ec) PSTAP_IO_FAIL("cannot create stripe directory", ec.value());
   }
-  engine_ = std::make_unique<IoEngine>(config_.stripe_factor, config_.server_bandwidth,
-                                       config_.server_latency,
-                                       config_.quarantine_threshold);
+  engine_ = std::make_unique<IoEngine>(config_);
   // Recover the catalog from persisted metadata.
   for (const auto& entry : fs::directory_iterator(root_)) {
     if (!entry.is_regular_file() || entry.path().extension() != ".meta") continue;
@@ -281,57 +288,88 @@ StripedFile::~StripedFile() {
 
 std::uint64_t StripedFile::size() const { return fs_->catalog_size(name_); }
 
-std::size_t StripedFile::count_chunks(std::uint64_t offset, std::size_t len) const {
-  const std::size_t unit = fs_->config().stripe_unit;
-  std::size_t chunks = 0;
-  for (std::uint64_t pos = offset; pos < offset + len;) {
-    const std::uint64_t in_unit = pos % unit;
-    const std::uint64_t take = std::min<std::uint64_t>(unit - in_unit, offset + len - pos);
-    ++chunks;
-    pos += take;
-  }
-  return chunks;
-}
-
-void StripedFile::submit_jobs(std::uint64_t offset, std::byte* buf, std::size_t len,
-                              bool is_write,
-                              const std::shared_ptr<detail::RequestState>& state) {
+void StripedFile::append_jobs(Batch& batch, std::uint64_t offset, std::byte* buf,
+                              std::size_t len, bool is_write) {
   const std::size_t unit = fs_->config().stripe_unit;
   const std::size_t factor = fs_->config().stripe_factor;
+
+  // Find (or, in coalescing mode, create once) the batch job for a
+  // (server, fd) pair and append the piece to it. In per-chunk mode every
+  // piece gets its own job — the paper's baseline request shape.
+  const auto append = [&](std::size_t server, int fd, const IoEngine::Piece& piece,
+                          ChecksumCatalog* checksums, int replica_fd,
+                          std::size_t replica_server) {
+    if (batch.coalesce) {
+      const auto [it, fresh] = batch.slot.try_emplace(
+          std::make_pair(server, fd), batch.jobs.size());
+      if (!fresh) {
+        batch.jobs[it->second].pieces.push_back(piece);
+        return;
+      }
+    }
+    IoEngine::Job job;
+    job.fd = fd;
+    job.is_write = is_write;
+    job.pieces.push_back(piece);
+    job.checksums = checksums;
+    job.file_id = file_id_;
+    job.server = server;
+    job.replica_fd = replica_fd;
+    job.replica_server = replica_server;
+    batch.jobs.push_back(std::move(job));
+  };
+
   for (std::uint64_t pos = offset; pos < offset + len;) {
     const std::uint64_t unit_index = pos / unit;
     const std::uint64_t in_unit = pos % unit;
     const std::uint64_t take = std::min<std::uint64_t>(unit - in_unit, offset + len - pos);
     const std::size_t dir = static_cast<std::size_t>(unit_index % factor);
-    IoEngine::Job job;
-    job.fd = segment_fds_[dir];
-    job.offset = (unit_index / factor) * unit + in_unit;
-    job.buf = buf + (pos - offset);
-    job.len = static_cast<std::size_t>(take);
-    job.is_write = is_write;
-    job.state = state;
-    job.checksums = &fs_->checksums_;
-    job.file_id = file_id_;
-    job.unit_index = unit_index;
-    job.unit_seg_offset = (unit_index / factor) * unit;
     const std::size_t replica_dir = (dir + 1) % factor;
+    IoEngine::Piece piece;
+    piece.offset = (unit_index / factor) * unit + in_unit;
+    piece.buf = buf + (pos - offset);
+    piece.len = static_cast<std::size_t>(take);
+    piece.unit_index = unit_index;
+    piece.unit_seg_offset = (unit_index / factor) * unit;
+
     if (!is_write && replicated() && fs_->engine().quarantined(dir)) {
       // Failover read: the primary directory's breaker is open, so serve
       // this unit from its replica. The checksum catalog still applies —
-      // both copies carry identical unit contents.
-      job.fd = replica_fds_[dir];
-      fs_->engine().submit(replica_dir, std::move(job));
+      // both copies carry identical unit contents. No hedge target: the
+      // other copy is exactly the quarantined server.
+      append(replica_dir, replica_fds_[dir], piece, &fs_->checksums_,
+             /*replica_fd=*/-1, /*replica_server=*/0);
     } else {
+      const int replica_fd = (!is_write && replicated()) ? replica_fds_[dir] : -1;
+      append(dir, segment_fds_[dir], piece, &fs_->checksums_, replica_fd,
+             replica_dir);
       if (is_write && replicated()) {
-        IoEngine::Job mirror = job;
-        mirror.fd = replica_fds_[dir];
-        mirror.checksums = nullptr;  // the primary write records the CRC
-        fs_->engine().submit(replica_dir, std::move(mirror));
+        // The primary write records the CRC; the mirror only lands bytes.
+        append(replica_dir, replica_fds_[dir], piece, /*checksums=*/nullptr,
+               /*replica_fd=*/-1, /*replica_server=*/0);
       }
-      fs_->engine().submit(dir, std::move(job));
     }
     pos += take;
   }
+}
+
+IoRequest StripedFile::dispatch(Batch&& batch) {
+  if (batch.jobs.empty()) return IoRequest{};
+  // Pending completions = jobs (with coalescing, one per touched server),
+  // not chunks: a list job completes its request slot once.
+  IoRequest req = fs_->engine().make_request(batch.jobs.size());
+  const bool hedgeable = fs_->config().straggler_sched && fs_->config().hedged_reads;
+  for (IoEngine::Job& job : batch.jobs) {
+    job.state = req.state_;
+    if (hedgeable && !job.is_write && job.replica_fd >= 0) {
+      // Hedge-capable: served through scratch + claim so a speculative
+      // twin can race it without double-writing the caller's buffer.
+      job.chunk = std::make_shared<detail::ChunkState>();
+    }
+    const std::size_t server = job.server;
+    fs_->engine().submit(server, std::move(job));
+  }
+  return req;
 }
 
 IoRequest StripedFile::submit(std::uint64_t offset, std::byte* buf, std::size_t len,
@@ -340,10 +378,10 @@ IoRequest StripedFile::submit(std::uint64_t offset, std::byte* buf, std::size_t 
   // up front (a metadata/open-path failure), before any chunk is queued.
   const std::int64_t started_ns = obs::trace_now_ns();
   fault::inject((is_write ? "pfs.file.write." : "pfs.file.read.") + name_);
-  std::size_t chunks = count_chunks(offset, len);
-  if (is_write && replicated()) chunks *= 2;  // one mirror job per chunk
-  IoRequest req = fs_->engine().make_request(chunks);
-  submit_jobs(offset, buf, len, is_write, req.state_);
+  Batch batch;
+  batch.coalesce = fs_->config().straggler_sched;
+  append_jobs(batch, offset, buf, len, is_write);
+  IoRequest req = dispatch(std::move(batch));
   const std::int64_t dur_ns = obs::trace_now_ns() - started_ns;
   fs_->engine().record_submit_latency(static_cast<double>(dur_ns) * 1e-9);
   if (obs::trace_enabled()) {
@@ -358,20 +396,19 @@ IoRequest StripedFile::iread_gather(std::span<const IoSegment> segments) {
   const std::int64_t started_ns = obs::trace_now_ns();
   fault::inject("pfs.file.read." + name_);
   const std::uint64_t file_size = size();
-  std::size_t chunks = 0;
+  // One batch across ALL segments: with coalescing on, a rank's whole
+  // strided slab collapses into at most one list-I/O job per server.
+  Batch batch;
+  batch.coalesce = fs_->config().straggler_sched;
   for (const IoSegment& seg : segments) {
     PSTAP_REQUIRE(seg.offset + seg.buf.size() <= file_size,
                   "gather segment past end of file " + name_);
-    chunks += count_chunks(seg.offset, seg.buf.size());
-  }
-  if (chunks == 0) return IoRequest{};
-  IoRequest req = fs_->engine().make_request(chunks);
-  for (const IoSegment& seg : segments) {
     if (!seg.buf.empty()) {
-      submit_jobs(seg.offset, seg.buf.data(), seg.buf.size(), /*is_write=*/false,
-                  req.state_);
+      append_jobs(batch, seg.offset, seg.buf.data(), seg.buf.size(),
+                  /*is_write=*/false);
     }
   }
+  IoRequest req = dispatch(std::move(batch));
   const std::int64_t dur_ns = obs::trace_now_ns() - started_ns;
   fs_->engine().record_submit_latency(static_cast<double>(dur_ns) * 1e-9);
   if (obs::trace_enabled()) {

@@ -60,6 +60,13 @@ struct PipelineMetrics {
     std::uint64_t injected_corruptions = 0;
     std::uint64_t corrupt_chunks = 0;       ///< checksum mismatches caught
     std::uint64_t quarantined_servers = 0;  ///< circuit-breaker trips
+    // Straggler-defense counters (zero unless straggler_sched is on):
+    std::uint64_t hedges_launched = 0;   ///< speculative backup reads issued
+    std::uint64_t hedge_wins = 0;        ///< backups that beat the original
+    std::uint64_t hedge_cancels = 0;     ///< losing twins discarded
+    std::uint64_t chunks_stolen = 0;     ///< queued jobs moved off slow servers
+    std::uint64_t deadline_expired = 0;  ///< in-flight jobs past their deadline
+    std::uint64_t breaker_reopened = 0;  ///< quarantined servers re-admitted
   };
   IoStats io;
 

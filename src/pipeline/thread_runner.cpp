@@ -349,8 +349,10 @@ class SlabReader {
           start_error_[cpi & 1] = nullptr;
           std::rethrow_exception(e);
         }
-        pfs::wait_with_timeout(pending_[cpi & 1], retry.attempt_timeout,
-                               "slab read of cpi " + std::to_string(cpi));
+        pfs::wait_with_timeout(
+            pending_[cpi & 1],
+            effective_attempt_timeout(retry, &ctx_.fs.engine().service_time()),
+            "slab read of cpi " + std::to_string(cpi));
         return buf;
       } catch (const IoError& e) {
         if (attempt >= retry.max_attempts || is_permanent(e)) {
@@ -490,7 +492,11 @@ void run_doppler_node(NodeCtx& ctx, PhaseClock& clock) {
         // are exactly the contiguous piece the dead rank would have sent.
         auto req = stap::start_read_cpi_slab(file, p, lo, hi, piece,
                                              ctx.opt.file_layout);
-        pfs::wait_with_timeout(req, ctx.opt.io_retry.attempt_timeout, what);
+        pfs::wait_with_timeout(
+            req,
+            effective_attempt_timeout(ctx.opt.io_retry,
+                                      &ctx.fs.engine().service_time()),
+            what);
       });
     } catch (const IoError&) {
       // Same degradation contract as SlabReader: zero-fill and drop the
@@ -1192,6 +1198,12 @@ RunResult ThreadRunner::run() {
   result.metrics.io.retries = io_retry_counter().value() - retries_before;
   result.metrics.io.corrupt_chunks = fs.engine().corrupt_chunks();
   result.metrics.io.quarantined_servers = fs.engine().quarantined_servers();
+  result.metrics.io.hedges_launched = fs.engine().hedges_launched();
+  result.metrics.io.hedge_wins = fs.engine().hedge_wins();
+  result.metrics.io.hedge_cancels = fs.engine().hedge_cancels();
+  result.metrics.io.chunks_stolen = fs.engine().chunks_stolen();
+  result.metrics.io.deadline_expired = fs.engine().deadline_expired();
+  result.metrics.io.breaker_reopened = fs.engine().breaker_reopened();
   if (options_.fault_plan) {
     result.metrics.io.injected_delays = options_.fault_plan->injected_delays();
     result.metrics.io.injected_errors = options_.fault_plan->injected_errors();
@@ -1313,6 +1325,12 @@ RunResult ThreadRunner::run() {
     report.io.injected_corruptions = io.injected_corruptions;
     report.io.corrupt_chunks = io.corrupt_chunks;
     report.io.quarantined_servers = io.quarantined_servers;
+    report.io.hedges_launched = io.hedges_launched;
+    report.io.hedge_wins = io.hedge_wins;
+    report.io.hedge_cancels = io.hedge_cancels;
+    report.io.chunks_stolen = io.chunks_stolen;
+    report.io.deadline_expired = io.deadline_expired;
+    report.io.breaker_reopened = io.breaker_reopened;
     if (options_.supervise.enabled) {
       const auto& rec = result.metrics.recovery;
       report.recovery.present = true;

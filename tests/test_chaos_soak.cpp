@@ -106,5 +106,58 @@ TEST(ChaosSoak, SeededCrashSchedulesAllRecover) {
   fsys::remove_all(root, ec);
 }
 
+// Combined-fault leg: a modeled straggler I/O server AND injected delays
+// AND a rank crash, with the straggler scheduler (hedged reads on) active.
+// Defense layers must compose: supervision recovers the crash, the
+// scheduler routes around the slow server, and the detections still match
+// a fault-free run exactly — adaptive I/O must never change results.
+TEST(ChaosSoak, StragglerPlusCrashWithSchedulerRecovers) {
+  const fsys::path root =
+      fsys::temp_directory_path() /
+      ("pstap_chaos_straggler_" + std::to_string(::getpid()));
+  std::error_code ec;
+  fsys::remove_all(root, ec);
+
+  const auto p = stap::RadarParams::test_small();
+  const auto spec =
+      pipeline::PipelineSpec::separate_io(p, {1, 1, 1, 1, 1, 1, 1, 1});
+
+  pipeline::ThreadRunner baseline(spec, base_options(root, "clean"));
+  const auto clean = baseline.run();
+  ASSERT_FALSE(keys_of(clean.detections, 1).empty());
+
+  auto opt = base_options(root, "straggler_crash");
+  opt.supervise.enabled = true;
+  opt.supervise.heartbeat_interval = 2e-3;
+  opt.supervise.hang_timeout = 30.0;
+  opt.fs_config = pfs::paragon_pfs(4);
+  opt.fs_config.replicas = 2;
+  opt.fs_config.straggler_sched = true;
+  opt.fs_config.hedged_reads = true;
+  opt.fs_config.deadline_min_samples = 8;
+  opt.fs_config.deadline_floor = 1e-3;
+  opt.fs_config.server_latency = 2e-4;
+  opt.fs_config.straggler_servers = 1;
+  opt.fs_config.straggler_slowdown = 4.0;
+  opt.io_retry.max_attempts = 4;
+  opt.io_retry.initial_backoff = 1e-3;
+  opt.fault_plan = std::make_shared<fault::FaultPlan>(4242);
+  opt.fault_plan->arm_crash("pipeline.rank.2", 1);
+  opt.fault_plan->arm_delay("pfs.server.read.sd000", 0.3, 1e-3, 3e-3);
+
+  pipeline::ThreadRunner runner(spec, opt);
+  const auto result = runner.run();  // completing at all proves no hang
+
+  EXPECT_TRUE(result.dropped_cpis.empty());
+  const auto& rec = result.metrics.recovery;
+  EXPECT_GT(rec.injected_crashes, 0u);
+  EXPECT_EQ(rec.crashes_detected, rec.injected_crashes);
+  for (int cpi = 0; cpi < 4; ++cpi) {
+    EXPECT_EQ(keys_of(result.detections, cpi), keys_of(clean.detections, cpi))
+        << "cpi " << cpi;
+  }
+  fsys::remove_all(root, ec);
+}
+
 }  // namespace
 }  // namespace pstap
