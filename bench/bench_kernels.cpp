@@ -11,6 +11,8 @@
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "fft/fft.hpp"
+#include "linalg/cgemm.hpp"
+#include "linalg/cmatrix.hpp"
 #include "mp/world.hpp"
 #include "obs/metrics.hpp"
 #include "stap/beamform.hpp"
@@ -174,6 +176,74 @@ void BM_Beamform(benchmark::State& state) {
       static_cast<std::int64_t>(out.hard.samples() * sizeof(cfloat)));
 }
 BENCHMARK(BM_Beamform);
+
+// Raw GEMM micro-kernel at the beamform shape: 4 weight rows (beams) x 32
+// DOFs applied across 256 range gates per call.
+void BM_Cgemm(benchmark::State& state) {
+  const std::size_t m = 4, k = 32, n = 256;
+  Rng rng(11);
+  std::vector<cfloat> a(m * k), b(k * n), c(m * n);
+  for (auto& v : a) v = rng.complex_normal();
+  for (auto& v : b) v = rng.complex_normal();
+  linalg::CgemmScratch scratch;
+  for (auto _ : state) {
+    linalg::cgemm(true, m, k, n, a.data(), k, b.data(), n, c.data(), n,
+                  scratch);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * k * n));
+  // A + B streamed in, C read-modify-written.
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>((m * k + k * n + 2 * m * n) * sizeof(cfloat)));
+}
+BENCHMARK(BM_Cgemm);
+
+// Covariance-forming Hermitian rank-k update at the hard-bin shape: 32 DOFs
+// over 128 training gates, range series strided a full 256-gate row apart.
+void BM_Cherk(benchmark::State& state) {
+  const std::size_t dof = 32, t = 128, lds = 256;
+  Rng rng(12);
+  std::vector<cfloat> s(dof * lds);
+  for (auto& v : s) v = rng.complex_normal();
+  linalg::CMatrix<double> r(dof, dof);
+  const double alpha = 1.0 / static_cast<double>(t);
+  for (auto _ : state) {
+    r.set_zero();
+    linalg::cherk_lower(r, s.data(), lds, t, alpha);
+    benchmark::DoNotOptimize(r.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dof * (dof + 1) / 2 * t));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(dof * t * sizeof(cfloat) +
+                                dof * (dof + 1) / 2 * sizeof(cdouble)));
+}
+BENCHMARK(BM_Cherk);
+
+// One full adaptive-weight solve for a single hard Doppler bin: cherk
+// covariance, diagonal loading, Cholesky factor, and a per-beam solve +
+// MVDR normalization. This is the per-bin unit of BM_WeightsHard without
+// the scene/Doppler setup around it.
+void BM_WeightsSolve(benchmark::State& state) {
+  const RadarParams p = bench_params();
+  Rng rng(13);
+  BinArray spectra(1, p.hard_dof(), p.ranges);
+  for (auto& v : spectra.flat()) v = rng.complex_normal();
+  WeightComputer wc(p, {0}, p.hard_dof());
+  for (auto _ : state) {
+    auto ws = wc.compute(spectra);
+    benchmark::DoNotOptimize(ws.flat().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(spectra.samples()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(spectra.samples() * sizeof(cfloat)));
+}
+BENCHMARK(BM_WeightsSolve);
 
 void BM_PulseCompression(benchmark::State& state) {
   const RadarParams p = bench_params();

@@ -24,6 +24,19 @@ import argparse
 import json
 import sys
 
+# Kernel benches whose whole point is a bandwidth claim: the GEMM layer's
+# micro-kernels and the weight-solve/beamform stages they feed. A record for
+# one of these without SetBytesProcessed is a broken bench, not a warning —
+# it would silently drop out of the bandwidth gate.
+REQUIRED_BYTES = {
+    "BM_Cgemm",
+    "BM_Cherk",
+    "BM_WeightsSolve",
+    "BM_WeightsEasy",
+    "BM_WeightsHard",
+    "BM_Beamform",
+}
+
 
 def load(path):
     try:
@@ -47,6 +60,11 @@ def load(path):
         print(f"WARNING: {len(zero_bytes)} record(s) in {path} report zero "
               f"bytes_per_second (missing SetBytesProcessed?): "
               f"{', '.join(sorted(zero_bytes))}")
+        broken = sorted(set(zero_bytes) & REQUIRED_BYTES)
+        if broken:
+            print(f"compare_bench: {path}: bandwidth-gated bench(es) missing "
+                  f"bytes_per_second: {', '.join(broken)}", file=sys.stderr)
+            sys.exit(2)
     return records
 
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/aligned_buffer.hpp"
 #include "obs/metrics.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -152,6 +153,100 @@ void cdot(const float* x, const float* y, std::size_t n, float* out_re,
   *out_im = acc_i;
 }
 
+void cgemm_planar(float* c, std::size_t ldc, const float* ar, const float* ai,
+                  std::size_t m, std::size_t k, const float* b, std::size_t ldb,
+                  std::size_t n) {
+  // i-outer / p-middle / l-inner: with conj applied at pack time this is the
+  // exact fl-sequence of the historical per-(beam, dof) cmac_conj beamform
+  // loop (a - (-b) == a + b in IEEE arithmetic, so the packed-negation trees
+  // match the conjugating trees bit-for-bit).
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + 2 * i * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float wr = ar[i * k + p];
+      const float wi = ai[i * k + p];
+      const float* brow = b + 2 * p * ldb;
+      for (std::size_t l = 0; l < n; ++l) {
+        const float xr = brow[2 * l], xi = brow[2 * l + 1];
+        crow[2 * l] += wr * xr - wi * xi;
+        crow[2 * l + 1] += wr * xi + wi * xr;
+      }
+    }
+  }
+}
+
+void cdotu(const float* x, const float* y, std::size_t n, float* out_re,
+           float* out_im) {
+  float acc_r = 0.0f, acc_i = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float xr = x[2 * i], xi = x[2 * i + 1];
+    const float yr = y[2 * i], yi = y[2 * i + 1];
+    acc_r += xr * yr - xi * yi;
+    acc_i += xr * yi + xi * yr;
+  }
+  *out_re = acc_r;
+  *out_im = acc_i;
+}
+
+void cmac_conj_arr(float* y, const float* a, float xr, float xi,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float ar = a[2 * i], ai = a[2 * i + 1];
+    y[2 * i] += ar * xr + ai * xi;
+    y[2 * i + 1] += ar * xi - ai * xr;
+  }
+}
+
+void zherk_cf_lower(double* r, std::size_t ldr, const float* s, std::size_t lds,
+                    std::size_t dof, std::size_t t, double alpha) {
+  // alpha folded per term and gate-order accumulation: the exact fl-sequence
+  // of the historical snapshot-gather + her_update covariance loop (each
+  // (i, j) cell accumulated independently over t, starting from zero).
+  for (std::size_t i = 0; i < dof; ++i) {
+    const float* si = s + 2 * i * lds;
+    for (std::size_t j = 0; j <= i; ++j) {
+      const float* sj = s + 2 * j * lds;
+      double acc_re = 0.0, acc_im = 0.0;
+      for (std::size_t g = 0; g < t; ++g) {
+        const double pr = alpha * static_cast<double>(si[2 * g]);
+        const double pi = alpha * static_cast<double>(si[2 * g + 1]);
+        const double xr = static_cast<double>(sj[2 * g]);
+        const double xi = static_cast<double>(sj[2 * g + 1]);
+        acc_re += pr * xr + pi * xi;
+        acc_im += pi * xr - pr * xi;
+      }
+      r[2 * (i * ldr + j)] += acc_re;
+      r[2 * (i * ldr + j) + 1] += acc_im;
+    }
+  }
+}
+
+// fp-contract pinned off for the zmac pair: these are the FMA-free
+// bit-exact-across-backends kernels feeding the QR weight solve, and a
+// contracted mul+add in any one backend would break the contract.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("fp-contract=off")))
+#endif
+void zmac(double* y, const double* x, double cr, double ci, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xr = x[2 * i], xi = x[2 * i + 1];
+    y[2 * i] += cr * xr - ci * xi;
+    y[2 * i + 1] += cr * xi + ci * xr;
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("fp-contract=off")))
+#endif
+void zmac_conj(double* y, const double* x, double cr, double ci,
+               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xr = x[2 * i], xi = x[2 * i + 1];
+    y[2 * i] += cr * xr + ci * xi;
+    y[2 * i + 1] += cr * xi - ci * xr;
+  }
+}
+
 constexpr Ops kOps = {
     .butterfly = butterfly,
     .butterfly_rows = butterfly_rows,
@@ -167,6 +262,12 @@ constexpr Ops kOps = {
     .cmac_conj = cmac_conj,
     .norm_interleaved = norm_interleaved,
     .cdot = cdot,
+    .cgemm_planar = cgemm_planar,
+    .cdotu = cdotu,
+    .cmac_conj_arr = cmac_conj_arr,
+    .zherk_cf_lower = zherk_cf_lower,
+    .zmac = zmac,
+    .zmac_conj = zmac_conj,
 };
 
 }  // namespace scalar_impl
@@ -374,6 +475,147 @@ void cdot(const float* x, const float* y, std::size_t n, float* out_re,
   *out_im = acc_i;
 }
 
+void cgemm_planar(float* c, std::size_t ldc, const float* ar, const float* ai,
+                  std::size_t m, std::size_t k, const float* b, std::size_t ldb,
+                  std::size_t n) {
+  // y += wr * x + swap(x) * [-wi, +wi, ...] — the plain (non-conjugating)
+  // counterpart of cmac_conj; conj is the caller's pack-time negation.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + 2 * i * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float wr = ar[i * k + p];
+      const float wi = ai[i * k + p];
+      const float* brow = b + 2 * p * ldb;
+      const __m128 vwr = _mm_set1_ps(wr);
+      const __m128 vwp = _mm_set_ps(wi, -wi, wi, -wi);
+      std::size_t l = 0;
+      for (; l + 2 <= n; l += 2) {
+        const __m128 vx = _mm_loadu_ps(brow + 2 * l);
+        const __m128 vy = _mm_loadu_ps(crow + 2 * l);
+        const __m128 xsw = _mm_shuffle_ps(vx, vx, _MM_SHUFFLE(2, 3, 0, 1));
+        const __m128 t = _mm_add_ps(_mm_mul_ps(vwr, vx), _mm_mul_ps(vwp, xsw));
+        _mm_storeu_ps(crow + 2 * l, _mm_add_ps(vy, t));
+      }
+      for (; l < n; ++l) {
+        const float xr = brow[2 * l], xi = brow[2 * l + 1];
+        crow[2 * l] += wr * xr - wi * xi;
+        crow[2 * l + 1] += wr * xi + wi * xr;
+      }
+    }
+  }
+}
+
+void cdotu(const float* x, const float* y, std::size_t n, float* out_re,
+           float* out_im) {
+  // acc (interleaved) += [xr*yr - xi*yi, xr*yi + xi*yr]
+  const __m128 negmask = _mm_castsi128_ps(_mm_set_epi32(0, 0x80000000, 0, 0x80000000));
+  __m128 acc = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 vx = _mm_loadu_ps(x + 2 * i);
+    const __m128 vy = _mm_loadu_ps(y + 2 * i);
+    const __m128 xre = _mm_shuffle_ps(vx, vx, _MM_SHUFFLE(2, 2, 0, 0));
+    const __m128 xim = _mm_shuffle_ps(vx, vx, _MM_SHUFFLE(3, 3, 1, 1));
+    const __m128 ysw = _mm_shuffle_ps(vy, vy, _MM_SHUFFLE(2, 3, 0, 1));
+    const __m128 t2 = _mm_xor_ps(_mm_mul_ps(xim, ysw), negmask);
+    acc = _mm_add_ps(acc, _mm_add_ps(_mm_mul_ps(xre, vy), t2));
+  }
+  alignas(16) float lanes[4];
+  _mm_store_ps(lanes, acc);
+  float acc_r = lanes[0] + lanes[2];
+  float acc_i = lanes[1] + lanes[3];
+  for (; i < n; ++i) {
+    const float xr = x[2 * i], xi = x[2 * i + 1];
+    const float yr = y[2 * i], yi = y[2 * i + 1];
+    acc_r += xr * yr - xi * yi;
+    acc_i += xr * yi + xi * yr;
+  }
+  *out_re = acc_r;
+  *out_im = acc_i;
+}
+
+void cmac_conj_arr(float* y, const float* a, float xr, float xi,
+                   std::size_t n) {
+  // y += a * [xr, -xr, ...] + swap(a) * xi
+  const __m128 vc1 = _mm_set_ps(-xr, xr, -xr, xr);
+  const __m128 vc2 = _mm_set1_ps(xi);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 va = _mm_loadu_ps(a + 2 * i);
+    const __m128 vy = _mm_loadu_ps(y + 2 * i);
+    const __m128 asw = _mm_shuffle_ps(va, va, _MM_SHUFFLE(2, 3, 0, 1));
+    const __m128 t = _mm_add_ps(_mm_mul_ps(va, vc1), _mm_mul_ps(asw, vc2));
+    _mm_storeu_ps(y + 2 * i, _mm_add_ps(vy, t));
+  }
+  for (; i < n; ++i) {
+    const float ar = a[2 * i], ai = a[2 * i + 1];
+    y[2 * i] += ar * xr + ai * xi;
+    y[2 * i + 1] += ar * xi - ai * xr;
+  }
+}
+
+void zherk_cf_lower(double* r, std::size_t ldr, const float* s, std::size_t lds,
+                    std::size_t dof, std::size_t t, double alpha) {
+  // One complex per __m128d: accumulate conj(s_i) . s_j in [re, im] lanes,
+  // conjugate and scale by alpha at the end (conj(sum conj(a) b) ==
+  // sum a conj(b)). Reduction order differs from scalar — tolerance kernel.
+  const __m128d neg_im = _mm_castsi128_pd(
+      _mm_set_epi64x(static_cast<long long>(0x8000000000000000ull), 0));
+  for (std::size_t i = 0; i < dof; ++i) {
+    const float* si = s + 2 * i * lds;
+    for (std::size_t j = 0; j <= i; ++j) {
+      const float* sj = s + 2 * j * lds;
+      __m128d acc = _mm_setzero_pd();
+      std::size_t g = 0;
+      for (; g + 1 <= t; ++g) {
+        const __m128d va = _mm_cvtps_pd(_mm_castsi128_ps(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(si + 2 * g))));
+        const __m128d vb = _mm_cvtps_pd(_mm_castsi128_ps(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(sj + 2 * g))));
+        const __m128d are = _mm_unpacklo_pd(va, va);
+        const __m128d aim = _mm_unpackhi_pd(va, va);
+        const __m128d bsw = _mm_shuffle_pd(vb, vb, 0x1);
+        // t1 = [ar*br, ar*bi]; t2 = [ai*bi, ai*br];
+        // conj-dot term = [ar*br + ai*bi, ar*bi - ai*br] = -t2_odd + ...
+        const __m128d t1 = _mm_mul_pd(are, vb);
+        const __m128d t2 = _mm_xor_pd(_mm_mul_pd(aim, bsw), neg_im);
+        acc = _mm_add_pd(acc, _mm_add_pd(t1, t2));
+      }
+      alignas(16) double lanes[2];
+      _mm_store_pd(lanes, acc);
+      r[2 * (i * ldr + j)] += alpha * lanes[0];
+      r[2 * (i * ldr + j) + 1] += alpha * (-lanes[1]);
+    }
+  }
+}
+
+void zmac(double* y, const double* x, double cr, double ci, std::size_t n) {
+  // One complex per __m128d; per-element trees identical to scalar (the
+  // lane negation of ci is exact), so this stays bit-exact with scalar.
+  const __m128d vcr = _mm_set1_pd(cr);
+  const __m128d vcp = _mm_set_pd(ci, -ci);
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m128d vx = _mm_loadu_pd(x + 2 * i);
+    const __m128d vy = _mm_loadu_pd(y + 2 * i);
+    const __m128d xsw = _mm_shuffle_pd(vx, vx, 0x1);
+    const __m128d t = _mm_add_pd(_mm_mul_pd(vcr, vx), _mm_mul_pd(vcp, xsw));
+    _mm_storeu_pd(y + 2 * i, _mm_add_pd(vy, t));
+  }
+}
+
+void zmac_conj(double* y, const double* x, double cr, double ci,
+               std::size_t n) {
+  const __m128d vcr = _mm_set1_pd(cr);
+  const __m128d vcp = _mm_set_pd(-ci, ci);
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m128d vx = _mm_loadu_pd(x + 2 * i);
+    const __m128d vy = _mm_loadu_pd(y + 2 * i);
+    const __m128d xsw = _mm_shuffle_pd(vx, vx, 0x1);
+    const __m128d t = _mm_add_pd(_mm_mul_pd(vcr, vx), _mm_mul_pd(vcp, xsw));
+    _mm_storeu_pd(y + 2 * i, _mm_add_pd(vy, t));
+  }
+}
+
 constexpr Ops kOps = {
     .butterfly = butterfly,
     .butterfly_rows = butterfly_rows,
@@ -389,6 +631,12 @@ constexpr Ops kOps = {
     .cmac_conj = cmac_conj,
     .norm_interleaved = norm_interleaved,
     .cdot = cdot,
+    .cgemm_planar = cgemm_planar,
+    .cdotu = cdotu,
+    .cmac_conj_arr = cmac_conj_arr,
+    .zherk_cf_lower = zherk_cf_lower,
+    .zmac = zmac,
+    .zmac_conj = zmac_conj,
 };
 
 }  // namespace sse2_impl
@@ -720,7 +968,309 @@ PSTAP_AVX2 void cdot(const float* x, const float* y, std::size_t n,
   *out_im = acc_i;
 }
 
+namespace {
+
+// Single C row of the planar GEMM: crow += sum_p a(p) * brow_p, four
+// complex columns per step. Shared by the m-remainder of cgemm_planar.
+// The wr and wp products accumulate into separate registers (summed once at
+// the end) so each chain retires one FMA per k-step — a fused chain would
+// serialize two dependent FMAs per step and halve the retire rate.
+PSTAP_AVX2 inline void cgemm_planar_row(float* crow, const float* arow_re,
+                                        const float* arow_im, std::size_t k,
+                                        const float* b, std::size_t ldb,
+                                        std::size_t n, __m256 signs) {
+  std::size_t l = 0;
+  for (; l + 4 <= n; l += 4) {
+    __m256 acc_a = _mm256_loadu_ps(crow + 2 * l);
+    __m256 acc_b = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < k; ++p) {
+      const __m256 vx = _mm256_loadu_ps(b + 2 * p * ldb + 2 * l);
+      const __m256 xsw = _mm256_permute_ps(vx, 0xB1);
+      const __m256 wr = _mm256_broadcast_ss(arow_re + p);
+      const __m256 wp = _mm256_xor_ps(_mm256_broadcast_ss(arow_im + p), signs);
+      acc_a = _mm256_fmadd_ps(wr, vx, acc_a);
+      acc_b = _mm256_fmadd_ps(wp, xsw, acc_b);
+    }
+    _mm256_storeu_ps(crow + 2 * l, _mm256_add_ps(acc_a, acc_b));
+  }
+  for (; l < n; ++l) {
+    float acc_r = crow[2 * l], acc_i = crow[2 * l + 1];
+    for (std::size_t p = 0; p < k; ++p) {
+      const float wr = arow_re[p], wi = arow_im[p];
+      const float xr = b[2 * p * ldb + 2 * l], xi = b[2 * p * ldb + 2 * l + 1];
+      acc_r += wr * xr - wi * xi;
+      acc_i += wr * xi + wi * xr;
+    }
+    crow[2 * l] = acc_r;
+    crow[2 * l + 1] = acc_i;
+  }
+}
+
+}  // namespace
+
+PSTAP_AVX2 void cgemm_planar(float* c, std::size_t ldc, const float* ar,
+                             const float* ai, std::size_t m, std::size_t k,
+                             const float* b, std::size_t ldb, std::size_t n) {
+  // Register blocking: 4 C rows x 4 complex columns held in ymm accumulators
+  // across the whole k loop, so each B row chunk is loaded once per 4 output
+  // rows. A is planar (packed by the caller), so the per-row scalars are
+  // plain broadcasts; the sign mask folds the interleaved-lane negation of
+  // the imag part into the xor. Each row keeps separate wr/wp partial
+  // accumulators (one FMA chain each, joined after the k loop): a single
+  // accumulator would serialize two dependent FMAs per k-step and the
+  // 4-cycle FMA latency, not the FMA ports, would bound the loop.
+  const __m256 signs = _mm256_setr_ps(-0.0f, 0.0f, -0.0f, 0.0f,  //
+                                      -0.0f, 0.0f, -0.0f, 0.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    float* c0 = c + 2 * i * ldc;
+    float* c1 = c0 + 2 * ldc;
+    float* c2 = c1 + 2 * ldc;
+    float* c3 = c2 + 2 * ldc;
+    const float* ar0 = ar + i * k;
+    const float* ai0 = ai + i * k;
+    std::size_t l = 0;
+    for (; l + 4 <= n; l += 4) {
+      __m256 acc0a = _mm256_loadu_ps(c0 + 2 * l);
+      __m256 acc1a = _mm256_loadu_ps(c1 + 2 * l);
+      __m256 acc2a = _mm256_loadu_ps(c2 + 2 * l);
+      __m256 acc3a = _mm256_loadu_ps(c3 + 2 * l);
+      __m256 acc0b = _mm256_setzero_ps();
+      __m256 acc1b = _mm256_setzero_ps();
+      __m256 acc2b = _mm256_setzero_ps();
+      __m256 acc3b = _mm256_setzero_ps();
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m256 vx = _mm256_loadu_ps(b + 2 * p * ldb + 2 * l);
+        const __m256 xsw = _mm256_permute_ps(vx, 0xB1);
+        __m256 wr = _mm256_broadcast_ss(ar0 + p);
+        __m256 wp = _mm256_xor_ps(_mm256_broadcast_ss(ai0 + p), signs);
+        acc0a = _mm256_fmadd_ps(wr, vx, acc0a);
+        acc0b = _mm256_fmadd_ps(wp, xsw, acc0b);
+        wr = _mm256_broadcast_ss(ar0 + k + p);
+        wp = _mm256_xor_ps(_mm256_broadcast_ss(ai0 + k + p), signs);
+        acc1a = _mm256_fmadd_ps(wr, vx, acc1a);
+        acc1b = _mm256_fmadd_ps(wp, xsw, acc1b);
+        wr = _mm256_broadcast_ss(ar0 + 2 * k + p);
+        wp = _mm256_xor_ps(_mm256_broadcast_ss(ai0 + 2 * k + p), signs);
+        acc2a = _mm256_fmadd_ps(wr, vx, acc2a);
+        acc2b = _mm256_fmadd_ps(wp, xsw, acc2b);
+        wr = _mm256_broadcast_ss(ar0 + 3 * k + p);
+        wp = _mm256_xor_ps(_mm256_broadcast_ss(ai0 + 3 * k + p), signs);
+        acc3a = _mm256_fmadd_ps(wr, vx, acc3a);
+        acc3b = _mm256_fmadd_ps(wp, xsw, acc3b);
+      }
+      _mm256_storeu_ps(c0 + 2 * l, _mm256_add_ps(acc0a, acc0b));
+      _mm256_storeu_ps(c1 + 2 * l, _mm256_add_ps(acc1a, acc1b));
+      _mm256_storeu_ps(c2 + 2 * l, _mm256_add_ps(acc2a, acc2b));
+      _mm256_storeu_ps(c3 + 2 * l, _mm256_add_ps(acc3a, acc3b));
+    }
+    if (l < n) {
+      for (std::size_t rr = 0; rr < 4; ++rr) {
+        cgemm_planar_row(c + 2 * (i + rr) * ldc + 2 * l, ar + (i + rr) * k,
+                         ai + (i + rr) * k, k, b + 2 * l, ldb, n - l, signs);
+      }
+    }
+  }
+  // 2-row remainder block (the test_small beam count): still shares each B
+  // chunk load + swap between the rows instead of falling back to
+  // row-at-a-time.
+  if (i + 2 <= m) {
+    float* c0 = c + 2 * i * ldc;
+    float* c1 = c0 + 2 * ldc;
+    const float* ar0 = ar + i * k;
+    const float* ai0 = ai + i * k;
+    std::size_t l = 0;
+    for (; l + 4 <= n; l += 4) {
+      __m256 acc0a = _mm256_loadu_ps(c0 + 2 * l);
+      __m256 acc1a = _mm256_loadu_ps(c1 + 2 * l);
+      __m256 acc0b = _mm256_setzero_ps();
+      __m256 acc1b = _mm256_setzero_ps();
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m256 vx = _mm256_loadu_ps(b + 2 * p * ldb + 2 * l);
+        const __m256 xsw = _mm256_permute_ps(vx, 0xB1);
+        __m256 wr = _mm256_broadcast_ss(ar0 + p);
+        __m256 wp = _mm256_xor_ps(_mm256_broadcast_ss(ai0 + p), signs);
+        acc0a = _mm256_fmadd_ps(wr, vx, acc0a);
+        acc0b = _mm256_fmadd_ps(wp, xsw, acc0b);
+        wr = _mm256_broadcast_ss(ar0 + k + p);
+        wp = _mm256_xor_ps(_mm256_broadcast_ss(ai0 + k + p), signs);
+        acc1a = _mm256_fmadd_ps(wr, vx, acc1a);
+        acc1b = _mm256_fmadd_ps(wp, xsw, acc1b);
+      }
+      _mm256_storeu_ps(c0 + 2 * l, _mm256_add_ps(acc0a, acc0b));
+      _mm256_storeu_ps(c1 + 2 * l, _mm256_add_ps(acc1a, acc1b));
+    }
+    if (l < n) {
+      cgemm_planar_row(c0 + 2 * l, ar0, ai0, k, b + 2 * l, ldb, n - l, signs);
+      cgemm_planar_row(c1 + 2 * l, ar0 + k, ai0 + k, k, b + 2 * l, ldb, n - l,
+                       signs);
+    }
+    i += 2;
+  }
+  for (; i < m; ++i) {
+    cgemm_planar_row(c + 2 * i * ldc, ar + i * k, ai + i * k, k, b, ldb, n,
+                     signs);
+  }
+}
+
+PSTAP_AVX2 void cdotu(const float* x, const float* y, std::size_t n,
+                      float* out_re, float* out_im) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 vx = _mm256_loadu_ps(x + 2 * i);
+    const __m256 vy = _mm256_loadu_ps(y + 2 * i);
+    const __m256 xre = _mm256_moveldup_ps(vx);
+    const __m256 xim = _mm256_movehdup_ps(vx);
+    const __m256 ysw = _mm256_permute_ps(vy, 0xB1);
+    // even lanes: xr*yr - xi*yi; odd lanes: xr*yi + xi*yr.
+    acc = _mm256_add_ps(
+        acc, _mm256_fmaddsub_ps(xre, vy, _mm256_mul_ps(xim, ysw)));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  float acc_r = lanes[0] + lanes[2] + lanes[4] + lanes[6];
+  float acc_i = lanes[1] + lanes[3] + lanes[5] + lanes[7];
+  for (; i < n; ++i) {
+    const float xr = x[2 * i], xi = x[2 * i + 1];
+    const float yr = y[2 * i], yi = y[2 * i + 1];
+    acc_r += xr * yr - xi * yi;
+    acc_i += xr * yi + xi * yr;
+  }
+  *out_re = acc_r;
+  *out_im = acc_i;
+}
+
+PSTAP_AVX2 void cmac_conj_arr(float* y, const float* a, float xr, float xi,
+                              std::size_t n) {
+  const __m256 vc1 = _mm256_setr_ps(xr, -xr, xr, -xr, xr, -xr, xr, -xr);
+  const __m256 vc2 = _mm256_set1_ps(xi);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 va = _mm256_loadu_ps(a + 2 * i);
+    const __m256 vy = _mm256_loadu_ps(y + 2 * i);
+    const __m256 asw = _mm256_permute_ps(va, 0xB1);
+    const __m256 t = _mm256_fmadd_ps(va, vc1, _mm256_mul_ps(asw, vc2));
+    _mm256_storeu_ps(y + 2 * i, _mm256_add_ps(vy, t));
+  }
+  if (i < n) sse2_impl::cmac_conj_arr(y + 2 * i, a + 2 * i, xr, xi, n - i);
+}
+
+PSTAP_AVX2 void zherk_cf_lower(double* r, std::size_t ldr, const float* s,
+                               std::size_t lds, std::size_t dof, std::size_t t,
+                               double alpha) {
+  // Accumulates conj(s_i) . s_j pairwise and conjugates the result at the
+  // end (conj(sum conj(a) b) == sum a conj(b)); alpha applied once.
+  // Reduction order and FMA differ from scalar — tolerance kernel.
+  //
+  // The snapshot rows are widened float->double ONCE into a reused buffer
+  // (the widening is exact, so this changes nothing numerically): the
+  // O(dof^2) dot loops would otherwise re-convert every row dof times and
+  // the cvtps_pd traffic, not the FMA ports, would dominate.
+  static thread_local AlignedVector<double> wide;
+  wide.resize(dof * 2 * t);
+  for (std::size_t d = 0; d < dof; ++d) {
+    const float* src = s + 2 * d * lds;
+    double* dst = wide.data() + d * 2 * t;
+    std::size_t g = 0;
+    for (; g + 2 <= t; g += 2) {
+      _mm256_storeu_pd(dst + 2 * g, _mm256_cvtps_pd(_mm_loadu_ps(src + 2 * g)));
+    }
+    for (; g < t; ++g) {
+      dst[2 * g] = static_cast<double>(src[2 * g]);
+      dst[2 * g + 1] = static_cast<double>(src[2 * g + 1]);
+    }
+  }
+
+  // Per pair: two independent fmadd chains per unrolled half (are*b and
+  // aim*bswap run in separate accumulators, combined once at the end via
+  // addsub) so the loop retires at FMA throughput instead of serializing
+  // on the 4-cycle add latency of a single accumulator.
+  const __m256d negzero = _mm256_set1_pd(-0.0);
+  for (std::size_t i = 0; i < dof; ++i) {
+    const double* wi_row = wide.data() + i * 2 * t;
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double* wj_row = wide.data() + j * 2 * t;
+      __m256d acc_re0 = _mm256_setzero_pd();
+      __m256d acc_im0 = _mm256_setzero_pd();
+      __m256d acc_re1 = _mm256_setzero_pd();
+      __m256d acc_im1 = _mm256_setzero_pd();
+      std::size_t g = 0;
+      for (; g + 4 <= t; g += 4) {
+        const __m256d va0 = _mm256_loadu_pd(wi_row + 2 * g);
+        const __m256d vb0 = _mm256_loadu_pd(wj_row + 2 * g);
+        const __m256d va1 = _mm256_loadu_pd(wi_row + 2 * g + 4);
+        const __m256d vb1 = _mm256_loadu_pd(wj_row + 2 * g + 4);
+        // acc_re lanes: (ar*br | ar*bi); acc_im lanes: (ai*bi | ai*br).
+        acc_re0 = _mm256_fmadd_pd(_mm256_movedup_pd(va0), vb0, acc_re0);
+        acc_im0 = _mm256_fmadd_pd(_mm256_permute_pd(va0, 0xF),
+                                  _mm256_permute_pd(vb0, 0x5), acc_im0);
+        acc_re1 = _mm256_fmadd_pd(_mm256_movedup_pd(va1), vb1, acc_re1);
+        acc_im1 = _mm256_fmadd_pd(_mm256_permute_pd(va1, 0xF),
+                                  _mm256_permute_pd(vb1, 0x5), acc_im1);
+      }
+      // even lanes want re0+im0 (ar*br + ai*bi), odd lanes re0-im0
+      // (ar*bi - ai*br): addsub(a, b) = (a-b | a+b), so negate b first.
+      const __m256d acc = _mm256_addsub_pd(
+          _mm256_add_pd(acc_re0, acc_re1),
+          _mm256_xor_pd(_mm256_add_pd(acc_im0, acc_im1), negzero));
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, acc);
+      double sum_re = lanes[0] + lanes[2];
+      double sum_im = lanes[1] + lanes[3];
+      for (; g < t; ++g) {
+        const double ar = wi_row[2 * g], ai = wi_row[2 * g + 1];
+        const double br = wj_row[2 * g], bi = wj_row[2 * g + 1];
+        sum_re += ar * br + ai * bi;
+        sum_im += ar * bi - ai * br;
+      }
+      r[2 * (i * ldr + j)] += alpha * sum_re;
+      r[2 * (i * ldr + j) + 1] += alpha * (-sum_im);
+    }
+  }
+}
+
 #undef PSTAP_AVX2
+
+// avx2 WITHOUT fma in the target set: the zmac pair must stay FMA-free so
+// results are bit-exact with the scalar reference on every backend, and a
+// target that lacks FMA makes it impossible for fp-contract to fuse the
+// mul+add intrinsic pairs below.
+#define PSTAP_AVX2_NOFMA __attribute__((target("avx2")))
+
+PSTAP_AVX2_NOFMA void zmac(double* y, const double* x, double cr, double ci,
+                           std::size_t n) {
+  const __m256d vcr = _mm256_set1_pd(cr);
+  const __m256d vcp = _mm256_setr_pd(-ci, ci, -ci, ci);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d vx = _mm256_loadu_pd(x + 2 * i);
+    const __m256d vy = _mm256_loadu_pd(y + 2 * i);
+    const __m256d xsw = _mm256_permute_pd(vx, 0x5);
+    const __m256d t =
+        _mm256_add_pd(_mm256_mul_pd(vcr, vx), _mm256_mul_pd(vcp, xsw));
+    _mm256_storeu_pd(y + 2 * i, _mm256_add_pd(vy, t));
+  }
+  if (i < n) sse2_impl::zmac(y + 2 * i, x + 2 * i, cr, ci, n - i);
+}
+
+PSTAP_AVX2_NOFMA void zmac_conj(double* y, const double* x, double cr,
+                                double ci, std::size_t n) {
+  const __m256d vcr = _mm256_set1_pd(cr);
+  const __m256d vcp = _mm256_setr_pd(ci, -ci, ci, -ci);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d vx = _mm256_loadu_pd(x + 2 * i);
+    const __m256d vy = _mm256_loadu_pd(y + 2 * i);
+    const __m256d xsw = _mm256_permute_pd(vx, 0x5);
+    const __m256d t =
+        _mm256_add_pd(_mm256_mul_pd(vcr, vx), _mm256_mul_pd(vcp, xsw));
+    _mm256_storeu_pd(y + 2 * i, _mm256_add_pd(vy, t));
+  }
+  if (i < n) sse2_impl::zmac_conj(y + 2 * i, x + 2 * i, cr, ci, n - i);
+}
+
+#undef PSTAP_AVX2_NOFMA
 
 constexpr Ops kOps = {
     .butterfly = butterfly,
@@ -737,6 +1287,12 @@ constexpr Ops kOps = {
     .cmac_conj = cmac_conj,
     .norm_interleaved = norm_interleaved,
     .cdot = cdot,
+    .cgemm_planar = cgemm_planar,
+    .cdotu = cdotu,
+    .cmac_conj_arr = cmac_conj_arr,
+    .zherk_cf_lower = zherk_cf_lower,
+    .zmac = zmac,
+    .zmac_conj = zmac_conj,
 };
 
 }  // namespace avx2_impl

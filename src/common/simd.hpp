@@ -20,12 +20,14 @@
 //
 // Numerical contract: every backend computes the same per-element
 // expression trees as the scalar reference. The AVX2 tier contracts
-// mul+add pairs into FMAs inside `butterfly`, `cscale*`, `cmul_*`, `cmac_conj`
-// and `cdot`, so those results may differ from scalar in the last bits
-// (tests compare within tolerance). `norm_interleaved`, `scale`,
-// `deinterleave_scale` and `interleave` are FMA-free and bit-exact with the
-// scalar path on every backend — CFAR threshold comparisons see identical
-// powers no matter which backend ran.
+// mul+add pairs into FMAs inside `butterfly`, `cscale*`, `cmul_*`, `cmac_conj`,
+// `cdot`, and the GEMM family (`cgemm_planar`, `cdotu`, `cmac_conj_arr`,
+// `zherk_cf_lower`), so those results may differ from scalar in the last
+// bits (tests compare within tolerance). `norm_interleaved`, `scale`,
+// `deinterleave_scale`, `interleave`, `zmac` and `zmac_conj` are FMA-free
+// and bit-exact with the scalar path on every backend — CFAR threshold
+// comparisons see identical powers and the QR weight solve computes
+// identical weights no matter which backend ran.
 //
 // Hot callers hoist `const simd::Ops& o = simd::ops();` outside their loops
 // so dispatch costs one indirect call per row, not per element.
@@ -124,6 +126,57 @@ struct Ops {
   /// differences from scalar.
   void (*cdot)(const float* x, const float* y, std::size_t n, float* out_re,
                float* out_im);
+
+  // ---------------------------------------------- complex GEMM kernels --
+  // The adaptive-weights / beamform micro-kernel family (linalg/cgemm.hpp
+  // is the packing + shape-checking front end; these are the raw loops).
+
+  /// Blocked complex GEMM over a packed split-re/im A tile:
+  /// C(m x n) += A(m x k) * B(k x n), where C row i is interleaved complex
+  /// at c + 2*i*ldc, A element (i, p) is ar/ai[i*k + p] (planar, packed by
+  /// the caller — conjugation of A is applied at pack time by negating the
+  /// imag plane, which is exact), and B row p is interleaved complex at
+  /// b + 2*p*ldb. The scalar backend accumulates i-outer / p-middle /
+  /// n-inner with the historical beamform cmac expression trees; AVX2
+  /// register-blocks 4 C rows x 4 complex columns with FMA (tolerance).
+  void (*cgemm_planar)(float* c, std::size_t ldc, const float* ar,
+                       const float* ai, std::size_t m, std::size_t k,
+                       const float* b, std::size_t ldb, std::size_t n);
+  /// Unconjugated dot product: (*out_re, *out_im) = sum_i x[i] * y[i] over
+  /// interleaved complex arrays — the CMatrix<float>::matvec row kernel.
+  /// Vector backends use lane partial sums (tolerance).
+  void (*cdotu)(const float* x, const float* y, std::size_t n, float* out_re,
+                float* out_im);
+  /// Array-conjugate MAC: y[i] += conj(a[i]) * x with the scalar broadcast
+  /// x = xr + i*xi — the CMatrix<float>::matvec_herm row kernel. FMA on
+  /// AVX2 (tolerance).
+  void (*cmac_conj_arr)(float* y, const float* a, float xr, float xi,
+                        std::size_t n);
+  /// Hermitian rank-k update of a double-precision lower triangle from
+  /// cfloat snapshot rows (STAP covariance formation): for 0 <= j <= i <
+  /// dof,
+  ///   r(i, j) += alpha * sum_t s_i(t) * conj(s_j(t))
+  /// where s_d is the interleaved cfloat row at s + 2*d*lds and r is
+  /// row-major interleaved complex double with leading dimension ldr
+  /// (complex elements). Only the lower triangle (incl. diagonal) is
+  /// written. The scalar backend applies alpha per term and accumulates in
+  /// gate order — the exact fl-sequence of the historical per-snapshot
+  /// her_update loop; vector backends convert four complex floats per step
+  /// and reduce with FMA lane partials (tolerance).
+  void (*zherk_cf_lower)(double* r, std::size_t ldr, const float* s,
+                         std::size_t lds, std::size_t dof, std::size_t t,
+                         double alpha);
+  /// Double-precision MAC: y[i] += c * x[i] over interleaved complex
+  /// arrays, c = cr + i*ci broadcast. Deliberately FMA-free on every
+  /// backend: the QR Householder row sweeps feed the weight solve, and
+  /// keeping them bit-exact keeps the computed weights — and therefore the
+  /// CFAR inputs — identical across backends.
+  void (*zmac)(double* y, const double* x, double cr, double ci,
+               std::size_t n);
+  /// Double-precision conjugate MAC: y[i] += conj(c) * x[i]. FMA-free and
+  /// bit-exact across backends, like zmac.
+  void (*zmac_conj)(double* y, const double* x, double cr, double ci,
+                    std::size_t n);
 };
 
 /// Kernel table for the active backend (cheap: one relaxed atomic load).

@@ -1,0 +1,46 @@
+#include "linalg/cgemm.hpp"
+
+#include "common/simd.hpp"
+
+namespace pstap::linalg {
+
+void cgemm(bool conj_a, std::size_t m, std::size_t k, std::size_t n,
+           const cfloat* a, std::size_t lda, const cfloat* b, std::size_t ldb,
+           cfloat* c, std::size_t ldc, CgemmScratch& scratch) {
+  PSTAP_REQUIRE(lda >= k && ldb >= n && ldc >= n, "cgemm leading dims too small");
+  if (m == 0 || n == 0) return;
+  // Pack the whole A panel split-re/im (m*k is small on the STAP shapes:
+  // beams x dof). Conjugation is folded into the pack by negating the imag
+  // plane — exact, so the backend kernel needs no conj variant.
+  scratch.re.resize(m * k);
+  scratch.im.resize(m * k);
+  const float* af = reinterpret_cast<const float*>(a);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::size_t src = 2 * (i * lda + p);
+      scratch.re[i * k + p] = af[src];
+      scratch.im[i * k + p] = conj_a ? -af[src + 1] : af[src + 1];
+    }
+  }
+  simd::ops().cgemm_planar(reinterpret_cast<float*>(c), ldc, scratch.re.data(),
+                           scratch.im.data(), m, k,
+                           reinterpret_cast<const float*>(b), ldb, n);
+}
+
+void cgemv_rows(std::size_t m, std::size_t k, std::size_t n, const cfloat* w,
+                std::size_t ldw, const cfloat* x, std::size_t ldx, cfloat* y,
+                std::size_t ldy, CgemmScratch& scratch) {
+  cgemm(true, m, k, n, w, ldw, x, ldx, y, ldy, scratch);
+}
+
+void cherk_lower(CMatrix<double>& r, const cfloat* s, std::size_t lds,
+                 std::size_t t, double alpha) {
+  PSTAP_REQUIRE(r.rows() == r.cols(), "cherk_lower requires a square matrix");
+  PSTAP_REQUIRE(lds >= t, "cherk_lower leading dim too small");
+  if (r.rows() == 0 || t == 0) return;
+  simd::ops().zherk_cf_lower(
+      reinterpret_cast<double*>(r.flat().data()), r.cols(),
+      reinterpret_cast<const float*>(s), lds, r.rows(), t, alpha);
+}
+
+}  // namespace pstap::linalg

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/cgemm.hpp"
+
 namespace pstap::linalg {
 
 template <typename T>
@@ -16,10 +18,11 @@ bool cholesky_factor(CMatrix<T>& a) {
     const T ljj = std::sqrt(d);
     a(j, j) = {ljj, T{0}};
     const T inv = T{1} / ljj;
+    // Column update: prefix dots over the contiguous row prefixes L(i, :j)
+    // and L(j, :j) through the order-pinned kernel-layer helper.
+    const std::complex<T>* lrow_j = &a(j, 0);
     for (std::size_t i = j + 1; i < n; ++i) {
-      std::complex<T> s = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * std::conj(a(j, k));
-      a(i, j) = s * inv;
+      a(i, j) = dotc_sub(a(i, j), &a(i, 0), lrow_j, j) * inv;
     }
   }
   return true;
@@ -29,10 +32,9 @@ template <typename T>
 void cholesky_solve_inplace(const CMatrix<T>& l, std::span<std::complex<T>> b) {
   const std::size_t n = l.rows();
   PSTAP_REQUIRE(b.size() == n, "cholesky_solve_inplace size mismatch");
-  // Forward: L y = b.
+  // Forward: L y = b, the prefix dot running along the contiguous row.
   for (std::size_t i = 0; i < n; ++i) {
-    std::complex<T> s = b[i];
-    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * b[k];
+    const std::complex<T> s = dotu_sub(b[i], &l(i, 0), b.data(), i);
     b[i] = s / l(i, i).real();
   }
   // Backward: L^H x = y.

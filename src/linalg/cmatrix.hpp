@@ -5,6 +5,7 @@
 #include <complex>
 #include <cstddef>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -71,25 +72,47 @@ class CMatrix {
     }
   }
 
-  /// y = A * x.
+  /// y = A * x. Single precision routes each contiguous row dot through the
+  /// SIMD backend (cdotu: lane partial sums, tolerance vs the scalar
+  /// template).
   void matvec(std::span<const value_type> x, std::span<value_type> y) const {
     PSTAP_REQUIRE(x.size() == cols_ && y.size() == rows_, "matvec shape mismatch");
-    for (std::size_t i = 0; i < rows_; ++i) {
-      value_type acc{};
-      const value_type* arow = data_.data() + i * cols_;
-      for (std::size_t j = 0; j < cols_; ++j) acc += arow[j] * x[j];
-      y[i] = acc;
+    if constexpr (std::is_same_v<T, float>) {
+      const simd::Ops& vec = simd::ops();
+      for (std::size_t i = 0; i < rows_; ++i) {
+        float re = 0.0f, im = 0.0f;
+        vec.cdotu(reinterpret_cast<const float*>(data_.data() + i * cols_),
+                  reinterpret_cast<const float*>(x.data()), cols_, &re, &im);
+        y[i] = {re, im};
+      }
+    } else {
+      for (std::size_t i = 0; i < rows_; ++i) {
+        value_type acc{};
+        const value_type* arow = data_.data() + i * cols_;
+        for (std::size_t j = 0; j < cols_; ++j) acc += arow[j] * x[j];
+        y[i] = acc;
+      }
     }
   }
 
-  /// y = A^H * x.
+  /// y = A^H * x. Single precision routes each row MAC through the SIMD
+  /// backend (cmac_conj_arr).
   void matvec_herm(std::span<const value_type> x, std::span<value_type> y) const {
     PSTAP_REQUIRE(x.size() == rows_ && y.size() == cols_, "matvec_herm shape mismatch");
     std::fill(y.begin(), y.end(), value_type{});
-    for (std::size_t i = 0; i < rows_; ++i) {
-      const value_type xi = x[i];
-      const value_type* arow = data_.data() + i * cols_;
-      for (std::size_t j = 0; j < cols_; ++j) y[j] += std::conj(arow[j]) * xi;
+    if constexpr (std::is_same_v<T, float>) {
+      const simd::Ops& vec = simd::ops();
+      for (std::size_t i = 0; i < rows_; ++i) {
+        vec.cmac_conj_arr(reinterpret_cast<float*>(y.data()),
+                          reinterpret_cast<const float*>(data_.data() + i * cols_),
+                          x[i].real(), x[i].imag(), cols_);
+      }
+    } else {
+      for (std::size_t i = 0; i < rows_; ++i) {
+        const value_type xi = x[i];
+        const value_type* arow = data_.data() + i * cols_;
+        for (std::size_t j = 0; j < cols_; ++j) y[j] += std::conj(arow[j]) * xi;
+      }
     }
   }
 

@@ -1,6 +1,9 @@
 #include "linalg/qr.hpp"
 
 #include <cmath>
+#include <type_traits>
+
+#include "common/simd.hpp"
 
 namespace pstap::linalg {
 
@@ -12,6 +15,7 @@ bool QrFactorization<T>::factor(CMatrix<T> a) {
   const std::size_t n = a_.cols();
   beta_.assign(n, T{});
   diag_.assign(n, value_type{});
+  std::vector<value_type> w(n > 0 ? n - 1 : 0);
 
   for (std::size_t j = 0; j < n; ++j) {
     // Householder vector from the trailing part of column j:
@@ -30,12 +34,44 @@ bool QrFactorization<T>::factor(CMatrix<T> a) {
     const T vhv = T{2} * (normx_sq + normx * absx0);
     beta_[j] = T{2} / vhv;
 
-    // Apply H to the trailing columns.
-    for (std::size_t k = j + 1; k < n; ++k) {
-      value_type w{};
-      for (std::size_t i = j; i < m; ++i) w += std::conj(a_(i, j)) * a_(i, k);
-      w *= beta_[j];
-      for (std::size_t i = j; i < m; ++i) a_(i, k) -= w * a_(i, j);
+    // Apply H to the trailing columns as two contiguous row sweeps
+    // (w = beta * V^H * A_trail, then A_trail -= V * w) instead of a
+    // per-column strided walk: each trailing column still sees the same
+    // i-order and per-element expression trees as the historical loop, so
+    // the factorization is bit-identical — while the inner loops now run
+    // along rows, which are contiguous in CMatrix.
+    const std::size_t nt = n - j - 1;
+    if (nt == 0) continue;
+    std::fill(w.begin(), w.begin() + nt, value_type{});
+    if constexpr (std::is_same_v<T, double>) {
+      // Double precision rides the FMA-free zmac pair, which is bit-exact
+      // across SIMD backends — the weight solve stays backend-invariant.
+      const simd::Ops& vec = simd::ops();
+      for (std::size_t i = j; i < m; ++i) {
+        const value_type v = a_(i, j);
+        vec.zmac_conj(reinterpret_cast<double*>(w.data()),
+                      reinterpret_cast<const double*>(&a_(i, j + 1)), v.real(),
+                      v.imag(), nt);
+      }
+      for (std::size_t kk = 0; kk < nt; ++kk) w[kk] *= beta_[j];
+      for (std::size_t i = j; i < m; ++i) {
+        const value_type v = a_(i, j);
+        vec.zmac(reinterpret_cast<double*>(&a_(i, j + 1)),
+                 reinterpret_cast<const double*>(w.data()), -v.real(),
+                 -v.imag(), nt);
+      }
+    } else {
+      for (std::size_t i = j; i < m; ++i) {
+        const value_type v = std::conj(a_(i, j));
+        const value_type* arow = &a_(i, j + 1);
+        for (std::size_t kk = 0; kk < nt; ++kk) w[kk] += v * arow[kk];
+      }
+      for (std::size_t kk = 0; kk < nt; ++kk) w[kk] *= beta_[j];
+      for (std::size_t i = j; i < m; ++i) {
+        const value_type v = a_(i, j);
+        value_type* arow = &a_(i, j + 1);
+        for (std::size_t kk = 0; kk < nt; ++kk) arow[kk] -= w[kk] * v;
+      }
     }
   }
   return true;

@@ -1,6 +1,6 @@
 #include "stap/beamform.hpp"
 
-#include "common/simd.hpp"
+#include "linalg/cgemm.hpp"
 
 namespace pstap::stap {
 
@@ -14,20 +14,16 @@ BeamArray Beamformer::apply(const BinArray& spectra, const WeightSet& weights) c
   const std::size_t nr = spectra.ranges();
   BeamArray out(bins, params_.beams, nr);
 
-  const simd::Ops& vec = simd::ops();
+  // One batched GEMM per bin: Y(beams x ranges) += conj(W)(beams x dof) *
+  // X(dof x ranges). The per-bin weight rows, range series, and output rows
+  // are all contiguous with fixed leading dimensions, so the whole
+  // (beam x dof x range) triple loop collapses into a single register-
+  // blocked kernel call; the packed W tile is reused across range chunks.
+  linalg::CgemmScratch scratch;
   for (std::size_t b = 0; b < bins; ++b) {
-    for (std::size_t beam = 0; beam < params_.beams; ++beam) {
-      const auto w = weights.at(b, beam);
-      auto y = out.range_series(b, beam);
-      // Accumulate conj(w_d) * x_d over DOF: one SIMD complex MAC along the
-      // range dimension per DOF (the weight is the broadcast scalar).
-      for (std::size_t d = 0; d < dof; ++d) {
-        const auto x = spectra.range_series(b, d);
-        vec.cmac_conj(reinterpret_cast<float*>(y.data()),
-                      reinterpret_cast<const float*>(x.data()), w[d].real(),
-                      w[d].imag(), nr);
-      }
-    }
+    linalg::cgemv_rows(params_.beams, dof, nr, weights.at(b, 0).data(), dof,
+                       spectra.range_series(b, 0).data(), nr,
+                       out.range_series(b, 0).data(), nr, scratch);
   }
   return out;
 }

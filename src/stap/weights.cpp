@@ -1,7 +1,9 @@
 #include "stap/weights.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "linalg/cgemm.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/cmatrix.hpp"
 #include "linalg/qr.hpp"
@@ -34,18 +36,65 @@ namespace {
 /// MVDR normalization: w <- w / (s^H w), making the response toward the
 /// steering vector exactly one. Falls back to unit scale for degenerate
 /// denominators. Scale-invariant in w, so solver-specific scalings cancel.
-void normalize_and_store(std::span<const cfloat> s, std::span<cdouble> w,
+/// `sd` is the steering vector already widened to double — the widening is
+/// hoisted out of the per-bin loops by the callers.
+void normalize_and_store(std::span<const cdouble> sd, std::span<cdouble> w,
                          std::span<cfloat> out) {
   cdouble denom{};
-  for (std::size_t d = 0; d < s.size(); ++d) {
-    denom += std::conj(cdouble{s[d].real(), s[d].imag()}) * w[d];
+  for (std::size_t d = 0; d < sd.size(); ++d) {
+    denom += std::conj(sd[d]) * w[d];
   }
   const double mag = std::abs(denom);
   const cdouble scale = mag > 1e-30 ? 1.0 / denom : cdouble{1.0, 0.0};
-  for (std::size_t d = 0; d < s.size(); ++d) {
+  for (std::size_t d = 0; d < sd.size(); ++d) {
     const cdouble v = w[d] * scale;
     out[d] = {static_cast<float>(v.real()), static_cast<float>(v.imag())};
   }
+}
+
+/// Per-beam steering pieces that do not depend on the Doppler bin: the
+/// spatial phase ramp and its double-precision copy. For spatial-only
+/// (easy) tasks this is the whole steering vector; staggered (hard) tasks
+/// still rebuild the bin-dependent temporal half per (bin, beam).
+struct BeamSteering {
+  std::vector<cfloat> spatial;
+  std::vector<cdouble> spatial_d;
+};
+
+std::vector<BeamSteering> hoist_beam_steering(const RadarParams& params) {
+  std::vector<BeamSteering> beams(params.beams);
+  for (std::size_t beam = 0; beam < params.beams; ++beam) {
+    beams[beam].spatial = spatial_steering(params.channels,
+                                           params.element_spacing,
+                                           params.beam_angle(beam));
+    beams[beam].spatial_d.resize(beams[beam].spatial.size());
+    for (std::size_t d = 0; d < beams[beam].spatial.size(); ++d) {
+      beams[beam].spatial_d[d] = {beams[beam].spatial[d].real(),
+                                  beams[beam].spatial[d].imag()};
+    }
+  }
+  return beams;
+}
+
+/// Fill `sd` with the double-precision steering vector for (bin, beam),
+/// reusing the hoisted spatial half and building only the staggered half —
+/// the same single-precision product stacked_steering() computes, without
+/// its allocation. `shift` is e^{i psi} for the bin (hoisted per bin so the
+/// trig runs once per bin, not once per beam).
+void build_steering_d(const BeamSteering& bs, bool stacked, cfloat shift,
+                      std::span<cdouble> sd) {
+  std::copy(bs.spatial_d.begin(), bs.spatial_d.end(), sd.begin());
+  if (!stacked) return;
+  const std::size_t half = bs.spatial_d.size();
+  for (std::size_t d = 0; d < half; ++d) {
+    const cfloat v = shift * bs.spatial[d];
+    sd[half + d] = {v.real(), v.imag()};
+  }
+}
+
+/// e^{i psi} exactly as stacked_steering() computes it.
+cfloat stagger_shift(double psi) {
+  return {static_cast<float>(std::cos(psi)), static_cast<float>(std::sin(psi))};
 }
 
 }  // namespace
@@ -53,18 +102,20 @@ void normalize_and_store(std::span<const cfloat> s, std::span<cdouble> w,
 WeightSet WeightComputer::compute_cholesky(const BinArray& spectra,
                                            std::size_t training) const {
   WeightSet weights(bin_ids_.size(), params_.beams, dof_);
-  std::vector<cdouble> x(dof_);
+  const bool stacked = dof_ != params_.easy_dof();
+  const auto beams = hoist_beam_steering(params_);
+  std::vector<cdouble> sd(dof_);
+  std::vector<cdouble> w(dof_);
 
   for (std::size_t bi = 0; bi < bin_ids_.size(); ++bi) {
-    // Sample covariance over the training gates (double accumulation).
+    // Sample covariance over the training gates: one Hermitian rank-k
+    // update straight off the contiguous range series (double
+    // accumulation, lower triangle only — the factor, solve, trace and
+    // loading below read only the lower triangle and diagonal).
     linalg::CMatrix<double> r(dof_, dof_);
-    for (std::size_t t = 0; t < training; ++t) {
-      for (std::size_t d = 0; d < dof_; ++d) {
-        const cfloat v = spectra.at(bi, d, t);
-        x[d] = {v.real(), v.imag()};
-      }
-      r.her_update(x, 1.0 / static_cast<double>(training));
-    }
+    linalg::cherk_lower(r, spectra.range_series(bi, 0).data(),
+                        spectra.ranges(), training,
+                        1.0 / static_cast<double>(training));
     // Diagonal loading relative to the average per-DOF power.
     double trace = 0.0;
     for (std::size_t d = 0; d < dof_; ++d) trace += r(d, d).real();
@@ -72,20 +123,22 @@ WeightSet WeightComputer::compute_cholesky(const BinArray& spectra,
         params_.diagonal_loading * (trace / static_cast<double>(dof_)) + 1e-12;
     for (std::size_t d = 0; d < dof_; ++d) r(d, d) += load;
 
-    // Factor once per bin, solve per beam.
-    linalg::CMatrix<double> l = r;
-    const bool pd = linalg::cholesky_factor(l);
+    // Factor once per bin (in place — the loaded covariance has no other
+    // readers), solve per beam.
+    const bool pd = linalg::cholesky_factor(r);
 
+    const cfloat shift =
+        stacked ? stagger_shift(doppler_phase(bin_ids_[bi], params_.doppler_bins()))
+                : cfloat{1.0f, 0.0f};
     for (std::size_t beam = 0; beam < params_.beams; ++beam) {
-      const auto s = steering(bin_ids_[bi], beam);
-      std::vector<cdouble> w(dof_);
-      for (std::size_t d = 0; d < dof_; ++d) w[d] = {s[d].real(), s[d].imag()};
+      build_steering_d(beams[beam], stacked, shift, sd);
+      std::copy(sd.begin(), sd.end(), w.begin());
       if (pd) {
         // w = R^-1 s; on numerically singular bins fall back to the loaded
         // identity (conventional beamforming).
-        linalg::cholesky_solve_inplace(l, std::span<cdouble>(w));
+        linalg::cholesky_solve_inplace(r, std::span<cdouble>(w));
       }
-      normalize_and_store(s, w, weights.at(bi, beam));
+      normalize_and_store(sd, w, weights.at(bi, beam));
     }
   }
   return weights;
@@ -95,6 +148,10 @@ WeightSet WeightComputer::compute_qr(const BinArray& spectra,
                                      std::size_t training) const {
   WeightSet weights(bin_ids_.size(), params_.beams, dof_);
   const double t = static_cast<double>(training);
+  const bool stacked = dof_ != params_.easy_dof();
+  const auto beams = hoist_beam_steering(params_);
+  std::vector<cdouble> sd(dof_);
+  std::vector<cdouble> w(dof_);
 
   for (std::size_t bi = 0; bi < bin_ids_.size(); ++bi) {
     // Average per-DOF training power, for the loading rows.
@@ -120,17 +177,19 @@ WeightSet WeightComputer::compute_qr(const BinArray& spectra,
     linalg::QrFactorization<double> qr;
     const bool ok = qr.factor(std::move(a));
 
+    const cfloat shift =
+        stacked ? stagger_shift(doppler_phase(bin_ids_[bi], params_.doppler_bins()))
+                : cfloat{1.0f, 0.0f};
     for (std::size_t beam = 0; beam < params_.beams; ++beam) {
-      const auto s = steering(bin_ids_[bi], beam);
-      std::vector<cdouble> w(dof_);
-      for (std::size_t d = 0; d < dof_; ++d) w[d] = {s[d].real(), s[d].imag()};
+      build_steering_d(beams[beam], stacked, shift, sd);
+      std::copy(sd.begin(), sd.end(), w.begin());
       if (ok) {
         // (R^H R) w = s through two triangular solves; the T scaling
         // cancels in the MVDR normalization.
         qr.solve_upper_herm(std::span<cdouble>(w));
         qr.solve_upper(std::span<cdouble>(w));
       }
-      normalize_and_store(s, w, weights.at(bi, beam));
+      normalize_and_store(sd, w, weights.at(bi, beam));
     }
   }
   return weights;

@@ -19,6 +19,8 @@
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "fft/fft.hpp"
+#include "linalg/cgemm.hpp"
+#include "linalg/cmatrix.hpp"
 #include "obs/metrics.hpp"
 #include "stap/cfar.hpp"
 #include "stap/doppler.hpp"
@@ -450,6 +452,343 @@ TEST(SimdKernels, PulseCompressionEquivalentAcrossBackends) {
       EXPECT_NEAR(got.flat()[i].real(), ref.flat()[i].real(), 1e-3f)
           << simd::backend_name(b);
       EXPECT_NEAR(got.flat()[i].imag(), ref.flat()[i].imag(), 1e-3f);
+    }
+  }
+}
+
+// ------------------------------------------------- complex GEMM kernels --
+
+// Shapes straddling the 4-row x 4-complex AVX2 register block in every
+// direction: single rows/columns, tails on m, k and n, a k (= DOF) that is
+// not a multiple of the tile width, and one block-aligned shape.
+struct GemmShape {
+  std::size_t m, k, n;
+};
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},   {1, 7, 5},   {3, 16, 17}, {4, 31, 8},
+    {5, 3, 100}, {4, 32, 64}, {2, 5, 33},  {7, 12, 4},
+};
+
+std::vector<cfloat> random_cfloats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cfloat> v(n);
+  for (auto& x : v) x = rng.complex_normal();
+  return v;
+}
+
+// The historical beamform expression trees: per output row, walk the DOFs
+// in order and stream the contiguous B row with one complex MAC per
+// element. The scalar cgemm backend must reproduce this bit-for-bit.
+std::vector<cfloat> cgemm_reference(bool conj_a, const GemmShape& s,
+                                    const std::vector<cfloat>& a,
+                                    const std::vector<cfloat>& b) {
+  std::vector<cfloat> c(s.m * s.n, cfloat{});
+  for (std::size_t i = 0; i < s.m; ++i) {
+    for (std::size_t p = 0; p < s.k; ++p) {
+      const cfloat w = conj_a ? std::conj(a[i * s.k + p]) : a[i * s.k + p];
+      for (std::size_t l = 0; l < s.n; ++l) {
+        c[i * s.n + l] += w * b[p * s.n + l];
+      }
+    }
+  }
+  return c;
+}
+
+TEST(GemmEquivalence, ScalarCgemmBitExactAgainstComplexReference) {
+  BackendGuard guard;
+  simd::force_backend(Backend::kScalar);
+  linalg::CgemmScratch scratch;
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = random_cfloats(s.m * s.k, 1000 + s.m);
+    const auto b = random_cfloats(s.k * s.n, 2000 + s.n);
+    for (bool conj_a : {false, true}) {
+      const auto ref = cgemm_reference(conj_a, s, a, b);
+      std::vector<cfloat> c(s.m * s.n, cfloat{});
+      linalg::cgemm(conj_a, s.m, s.k, s.n, a.data(), s.k, b.data(), s.n,
+                    c.data(), s.n, scratch);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_EQ(c[i].real(), ref[i].real())
+            << "m=" << s.m << " k=" << s.k << " n=" << s.n
+            << " conj=" << conj_a << " i=" << i;
+        EXPECT_EQ(c[i].imag(), ref[i].imag());
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalence, CgemmBackendsMatchScalarWithinTolerance) {
+  BackendGuard guard;
+  linalg::CgemmScratch scratch;
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = random_cfloats(s.m * s.k, 3000 + s.m);
+    const auto b = random_cfloats(s.k * s.n, 4000 + s.n);
+    simd::force_backend(Backend::kScalar);
+    std::vector<cfloat> ref(s.m * s.n, cfloat{});
+    linalg::cgemm(true, s.m, s.k, s.n, a.data(), s.k, b.data(), s.n,
+                  ref.data(), s.n, scratch);
+    for (Backend bk : supported_backends()) {
+      simd::force_backend(bk);
+      std::vector<cfloat> c(s.m * s.n, cfloat{});
+      linalg::cgemm(true, s.m, s.k, s.n, a.data(), s.k, b.data(), s.n,
+                    c.data(), s.n, scratch);
+      const float tol = 1e-4f * static_cast<float>(s.k + 1);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_NEAR(c[i].real(), ref[i].real(), tol)
+            << simd::backend_name(bk) << " m=" << s.m << " k=" << s.k
+            << " n=" << s.n;
+        EXPECT_NEAR(c[i].imag(), ref[i].imag(), tol);
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalence, CgemmAccumulatesIntoExistingOutput) {
+  // C += A*B semantics: a pre-filled C must keep its prior contents as the
+  // accumulation base on every backend.
+  BackendGuard guard;
+  linalg::CgemmScratch scratch;
+  const GemmShape s{3, 5, 9};
+  const auto a = random_cfloats(s.m * s.k, 71);
+  const auto b = random_cfloats(s.k * s.n, 72);
+  const auto base = random_cfloats(s.m * s.n, 73);
+  for (Backend bk : supported_backends()) {
+    simd::force_backend(bk);
+    std::vector<cfloat> once(base);
+    linalg::cgemm(false, s.m, s.k, s.n, a.data(), s.k, b.data(), s.n,
+                  once.data(), s.n, scratch);
+    std::vector<cfloat> zero(s.m * s.n, cfloat{});
+    linalg::cgemm(false, s.m, s.k, s.n, a.data(), s.k, b.data(), s.n,
+                  zero.data(), s.n, scratch);
+    for (std::size_t i = 0; i < once.size(); ++i) {
+      EXPECT_NEAR(once[i].real(), base[i].real() + zero[i].real(), 1e-4f)
+          << simd::backend_name(bk);
+      EXPECT_NEAR(once[i].imag(), base[i].imag() + zero[i].imag(), 1e-4f);
+    }
+  }
+}
+
+TEST(GemmEquivalence, CgemvRowsIsConjugateGemm) {
+  BackendGuard guard;
+  linalg::CgemmScratch scratch;
+  const GemmShape s{4, 10, 33};
+  const auto w = random_cfloats(s.m * s.k, 81);
+  const auto x = random_cfloats(s.k * s.n, 82);
+  for (Backend bk : supported_backends()) {
+    simd::force_backend(bk);
+    std::vector<cfloat> y1(s.m * s.n, cfloat{}), y2(s.m * s.n, cfloat{});
+    linalg::cgemv_rows(s.m, s.k, s.n, w.data(), s.k, x.data(), s.n, y1.data(),
+                       s.n, scratch);
+    linalg::cgemm(true, s.m, s.k, s.n, w.data(), s.k, x.data(), s.n, y2.data(),
+                  s.n, scratch);
+    for (std::size_t i = 0; i < y1.size(); ++i) {
+      EXPECT_EQ(y1[i].real(), y2[i].real()) << simd::backend_name(bk);
+      EXPECT_EQ(y1[i].imag(), y2[i].imag());
+    }
+  }
+}
+
+TEST(GemmEquivalence, ScalarCherkBitExactAgainstHerUpdateReference) {
+  // The scalar rank-k kernel must reproduce the historical covariance path:
+  // per-gate snapshot gather into cdouble followed by CMatrix::her_update,
+  // accumulated in gate order. lds > t exercises a stride wider than the
+  // training window, as in the real BinArray layout.
+  BackendGuard guard;
+  simd::force_backend(Backend::kScalar);
+  for (std::size_t dof : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                          std::size_t{13}}) {
+    for (std::size_t t : {std::size_t{1}, std::size_t{5}, std::size_t{32},
+                          std::size_t{57}}) {
+      const std::size_t lds = t + 3;
+      const auto s = random_cfloats(dof * lds, 5000 + dof * 100 + t);
+      const double alpha = 1.0 / static_cast<double>(t);
+
+      linalg::CMatrix<double> ref(dof, dof);
+      std::vector<cdouble> snap(dof);
+      for (std::size_t g = 0; g < t; ++g) {
+        for (std::size_t d = 0; d < dof; ++d) {
+          const cfloat v = s[d * lds + g];
+          snap[d] = {v.real(), v.imag()};
+        }
+        ref.her_update(snap, alpha);
+      }
+
+      linalg::CMatrix<double> got(dof, dof);
+      linalg::cherk_lower(got, s.data(), lds, t, alpha);
+      for (std::size_t i = 0; i < dof; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+          EXPECT_EQ(got(i, j).real(), ref(i, j).real())
+              << "dof=" << dof << " t=" << t << " (" << i << "," << j << ")";
+          EXPECT_EQ(got(i, j).imag(), ref(i, j).imag());
+        }
+        // Strictly-upper entries are never written.
+        for (std::size_t j = i + 1; j < dof; ++j) {
+          EXPECT_EQ(got(i, j).real(), 0.0);
+          EXPECT_EQ(got(i, j).imag(), 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalence, CherkBackendsMatchScalarWithinTolerance) {
+  BackendGuard guard;
+  for (std::size_t dof : {std::size_t{2}, std::size_t{7}, std::size_t{16}}) {
+    for (std::size_t t : {std::size_t{9}, std::size_t{64}}) {
+      const std::size_t lds = t;
+      const auto s = random_cfloats(dof * lds, 6000 + dof * 100 + t);
+      const double alpha = 1.0 / static_cast<double>(t);
+
+      simd::force_backend(Backend::kScalar);
+      linalg::CMatrix<double> ref(dof, dof);
+      linalg::cherk_lower(ref, s.data(), lds, t, alpha);
+
+      for (Backend bk : supported_backends()) {
+        simd::force_backend(bk);
+        linalg::CMatrix<double> got(dof, dof);
+        linalg::cherk_lower(got, s.data(), lds, t, alpha);
+        for (std::size_t i = 0; i < dof; ++i) {
+          for (std::size_t j = 0; j <= i; ++j) {
+            EXPECT_NEAR(got(i, j).real(), ref(i, j).real(), 1e-12 * t)
+                << simd::backend_name(bk) << " dof=" << dof << " t=" << t;
+            EXPECT_NEAR(got(i, j).imag(), ref(i, j).imag(), 1e-12 * t);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalence, CdotuMatchesComplexReferenceAndBackendsAgree) {
+  const simd::Ops& ref_ops = simd::ops(Backend::kScalar);
+  for (std::size_t n : kSizes) {
+    const auto x = random_cfloats(n, 61);
+    const auto y = random_cfloats(n, 62);
+    // Scalar backend vs the std::complex expression trees: bit-exact.
+    cfloat expect{};
+    for (std::size_t i = 0; i < n; ++i) expect += x[i] * y[i];
+    float rr = 0, ri = 0;
+    ref_ops.cdotu(reinterpret_cast<const float*>(x.data()),
+                  reinterpret_cast<const float*>(y.data()), n, &rr, &ri);
+    EXPECT_EQ(rr, expect.real()) << "n=" << n;
+    EXPECT_EQ(ri, expect.imag());
+    // Vector backends: lane partial sums, tolerance.
+    for (Backend b : supported_backends()) {
+      float vr = 0, vi = 0;
+      simd::ops(b).cdotu(reinterpret_cast<const float*>(x.data()),
+                         reinterpret_cast<const float*>(y.data()), n, &vr, &vi);
+      const float tol = 1e-4f * static_cast<float>(n + 1);
+      EXPECT_NEAR(vr, rr, tol) << simd::backend_name(b) << " n=" << n;
+      EXPECT_NEAR(vi, ri, tol);
+    }
+  }
+}
+
+TEST(GemmEquivalence, CmacConjArrMatchesComplexReferenceAndBackendsAgree) {
+  const simd::Ops& ref_ops = simd::ops(Backend::kScalar);
+  for (std::size_t n : kSizes) {
+    const auto a = random_cfloats(n, 63);
+    const cfloat xc{0.7f, -1.3f};
+    std::vector<cfloat> expect(n, cfloat{});
+    for (std::size_t i = 0; i < n; ++i) expect[i] += std::conj(a[i]) * xc;
+    std::vector<cfloat> got(n, cfloat{});
+    ref_ops.cmac_conj_arr(reinterpret_cast<float*>(got.data()),
+                          reinterpret_cast<const float*>(a.data()), xc.real(),
+                          xc.imag(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i].real(), expect[i].real()) << "n=" << n << " i=" << i;
+      EXPECT_EQ(got[i].imag(), expect[i].imag());
+    }
+    for (Backend b : supported_backends()) {
+      std::vector<cfloat> v(n, cfloat{});
+      simd::ops(b).cmac_conj_arr(reinterpret_cast<float*>(v.data()),
+                                 reinterpret_cast<const float*>(a.data()),
+                                 xc.real(), xc.imag(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(v[i].real(), got[i].real(), 1e-5f)
+            << simd::backend_name(b) << " n=" << n;
+        EXPECT_NEAR(v[i].imag(), got[i].imag(), 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalence, ZmacPairBitExactAcrossBackends) {
+  // zmac / zmac_conj are the QR Householder row sweeps: FMA-free on every
+  // backend by contract, so the results must be bit-identical — this is
+  // what keeps the QR weight solve backend-invariant.
+  const simd::Ops& ref_ops = simd::ops(Backend::kScalar);
+  for (std::size_t n : kSizes) {
+    std::vector<double> x(2 * n), y0(2 * n);
+    Rng rng(70 + n);
+    for (auto& v : x) v = rng.normal();
+    for (auto& v : y0) v = rng.normal();
+    const double cr = 0.37, ci = -1.19;
+    for (const bool conj : {false, true}) {
+      std::vector<double> ref = y0;
+      if (conj) {
+        ref_ops.zmac_conj(ref.data(), x.data(), cr, ci, n);
+      } else {
+        ref_ops.zmac(ref.data(), x.data(), cr, ci, n);
+      }
+      // The scalar kernel itself must match the std::complex MAC trees.
+      std::vector<cdouble> expect(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect[i] = {y0[2 * i], y0[2 * i + 1]};
+        const cdouble xi{x[2 * i], x[2 * i + 1]};
+        const cdouble c = conj ? cdouble{cr, -ci} : cdouble{cr, ci};
+        expect[i] += c * xi;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(ref[2 * i], expect[i].real()) << "conj=" << conj;
+        EXPECT_EQ(ref[2 * i + 1], expect[i].imag());
+      }
+      for (Backend b : supported_backends()) {
+        std::vector<double> got = y0;
+        if (conj) {
+          simd::ops(b).zmac_conj(got.data(), x.data(), cr, ci, n);
+        } else {
+          simd::ops(b).zmac(got.data(), x.data(), cr, ci, n);
+        }
+        EXPECT_EQ(got, ref)
+            << simd::backend_name(b) << " n=" << n << " conj=" << conj;
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalence, MatvecPathsMatchScalarTemplatesWithinTolerance) {
+  // CMatrix<float>::matvec / matvec_herm now route through cdotu /
+  // cmac_conj_arr; the double instantiation keeps the original templates.
+  // Cross-check float against a double-widened reference.
+  BackendGuard guard;
+  const std::size_t rows = 7, cols = 13;
+  linalg::CMatrix<float> a(rows, cols);
+  const auto vals = random_cfloats(rows * cols, 91);
+  std::copy(vals.begin(), vals.end(), a.flat().begin());
+  const auto x = random_cfloats(cols, 92);
+  const auto xr = random_cfloats(rows, 93);
+
+  for (Backend b : supported_backends()) {
+    simd::force_backend(b);
+    std::vector<cfloat> y(rows);
+    a.matvec(x, y);
+    for (std::size_t i = 0; i < rows; ++i) {
+      cdouble acc{};
+      for (std::size_t j = 0; j < cols; ++j) {
+        acc += cdouble(a(i, j)) * cdouble(x[j]);
+      }
+      EXPECT_NEAR(y[i].real(), acc.real(), 1e-4) << simd::backend_name(b);
+      EXPECT_NEAR(y[i].imag(), acc.imag(), 1e-4);
+    }
+    std::vector<cfloat> yh(cols);
+    a.matvec_herm(xr, yh);
+    for (std::size_t j = 0; j < cols; ++j) {
+      cdouble acc{};
+      for (std::size_t i = 0; i < rows; ++i) {
+        acc += std::conj(cdouble(a(i, j))) * cdouble(xr[i]);
+      }
+      EXPECT_NEAR(yh[j].real(), acc.real(), 1e-4) << simd::backend_name(b);
+      EXPECT_NEAR(yh[j].imag(), acc.imag(), 1e-4);
     }
   }
 }

@@ -12,6 +12,9 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/cmatrix.hpp"
 #include "stap/beamform.hpp"
 #include "stap/cfar.hpp"
 #include "stap/cube_io.hpp"
@@ -959,6 +962,186 @@ TEST(StapChain, DetectsInjectedTargetsEndToEnd) {
   const std::size_t total_cells =
       (cur.easy_bin_ids.size() + cur.hard_bin_ids.size()) * p.beams * p.ranges;
   EXPECT_LT(dets_easy.size() + dets_hard.size(), total_cells / 100);
+}
+
+// ------------------------------------------- GEMM kernel-layer contracts --
+
+// Restores the auto-detected SIMD backend even if a test fails mid-way.
+struct SimdBackendGuard {
+  ~SimdBackendGuard() { simd::force_backend(simd::detect_best()); }
+};
+
+std::vector<simd::Backend> simd_backends() {
+  std::vector<simd::Backend> out{simd::Backend::kScalar};
+  const simd::Backend best = simd::detect_best();
+  if (static_cast<int>(best) >= static_cast<int>(simd::Backend::kSse2)) {
+    out.push_back(simd::Backend::kSse2);
+  }
+  if (static_cast<int>(best) >= static_cast<int>(simd::Backend::kAvx2)) {
+    out.push_back(simd::Backend::kAvx2);
+  }
+  return out;
+}
+
+TEST(Weights, CholeskyWeightsMatchPreKernelScalarReference) {
+  // Under the forced scalar backend, the cherk-based covariance + hoisted
+  // steering weight path must reproduce the historical per-snapshot
+  // her_update / inline-conversion loop bit-for-bit — for both the
+  // spatial-only (easy) and staggered (hard) DOF layouts.
+  SimdBackendGuard guard;
+  simd::force_backend(simd::Backend::kScalar);
+
+  RadarParams p = RadarParams::test_small();
+  p.beams = 3;
+  SceneGenerator gen(p, SceneConfig{}, 33);
+  DopplerFilter filt(p);
+  const DopplerOutput out = filt.process(gen.generate(0));
+
+  const auto check = [&](const BinArray& spectra,
+                         const std::vector<std::size_t>& bin_ids,
+                         std::size_t dof) {
+    WeightComputer wc(p, bin_ids, dof);
+    const WeightSet got = wc.compute(spectra);
+    const std::size_t training =
+        std::min<std::size_t>(p.training_ranges, spectra.ranges());
+    ASSERT_GE(training, dof);
+
+    std::vector<cdouble> snap(dof), sd(dof), w(dof);
+    for (std::size_t bi = 0; bi < bin_ids.size(); ++bi) {
+      // Historical covariance: gate-by-gate snapshot gather + her_update.
+      linalg::CMatrix<double> r(dof, dof);
+      for (std::size_t t = 0; t < training; ++t) {
+        for (std::size_t d = 0; d < dof; ++d) {
+          const cfloat v = spectra.at(bi, d, t);
+          snap[d] = {v.real(), v.imag()};
+        }
+        r.her_update(snap, 1.0 / static_cast<double>(training));
+      }
+      double trace = 0.0;
+      for (std::size_t d = 0; d < dof; ++d) trace += r(d, d).real();
+      const double load =
+          p.diagonal_loading * (trace / static_cast<double>(dof)) + 1e-12;
+      for (std::size_t d = 0; d < dof; ++d) r(d, d) += load;
+
+      linalg::CMatrix<double> l = r;
+      const bool pd = linalg::cholesky_factor(l);
+      ASSERT_TRUE(pd);
+
+      for (std::size_t beam = 0; beam < p.beams; ++beam) {
+        // Historical steering: rebuilt per (bin, beam), converted inline.
+        const auto s = wc.steering(bin_ids[bi], beam);
+        for (std::size_t d = 0; d < dof; ++d) {
+          sd[d] = {s[d].real(), s[d].imag()};
+          w[d] = sd[d];
+        }
+        linalg::cholesky_solve_inplace(l, std::span<cdouble>(w));
+        cdouble denom{};
+        for (std::size_t d = 0; d < dof; ++d) denom += std::conj(sd[d]) * w[d];
+        const double mag = std::abs(denom);
+        const cdouble scale = mag > 1e-30 ? 1.0 / denom : cdouble{1.0, 0.0};
+        const auto got_w = got.at(bi, beam);
+        for (std::size_t d = 0; d < dof; ++d) {
+          const cdouble v = w[d] * scale;
+          EXPECT_EQ(got_w[d].real(), static_cast<float>(v.real()))
+              << "bin=" << bin_ids[bi] << " beam=" << beam << " d=" << d;
+          EXPECT_EQ(got_w[d].imag(), static_cast<float>(v.imag()));
+        }
+      }
+    }
+  };
+
+  check(out.easy, out.easy_bin_ids, p.easy_dof());
+  check(out.hard, out.hard_bin_ids, p.hard_dof());
+}
+
+TEST(Weights, QrWeightsBitIdenticalAcrossSimdBackends) {
+  // The QR Householder sweeps ride the FMA-free zmac pair, so the entire
+  // QR-SMI weight solve is bit-invariant across SIMD backends.
+  SimdBackendGuard guard;
+  RadarParams p = RadarParams::test_small();
+  p.beams = 3;
+  SceneGenerator gen(p, SceneConfig{}, 34);
+  DopplerFilter filt(p);
+  const DopplerOutput out = filt.process(gen.generate(0));
+  WeightComputer wc(p, out.hard_bin_ids, p.hard_dof(), WeightSolver::kQrSmi);
+
+  simd::force_backend(simd::Backend::kScalar);
+  const WeightSet ref = wc.compute(out.hard);
+
+  for (simd::Backend b : simd_backends()) {
+    simd::force_backend(b);
+    const WeightSet got = wc.compute(out.hard);
+    for (std::size_t bi = 0; bi < out.hard_bin_ids.size(); ++bi) {
+      for (std::size_t beam = 0; beam < p.beams; ++beam) {
+        const auto rw = ref.at(bi, beam);
+        const auto gw = got.at(bi, beam);
+        for (std::size_t d = 0; d < p.hard_dof(); ++d) {
+          EXPECT_EQ(gw[d].real(), rw[d].real())
+              << simd::backend_name(b) << " bin=" << bi << " beam=" << beam;
+          EXPECT_EQ(gw[d].imag(), rw[d].imag());
+        }
+      }
+    }
+  }
+}
+
+TEST(StapChain, CfarDetectionsIdenticalAcrossSimdBackends) {
+  // The operational contract: running the full chain — Doppler, adaptive
+  // weights (cherk + Cholesky), GEMM beamform, pulse compression, CFAR —
+  // under each SIMD backend yields the same detection cells. Powers differ
+  // at FMA/reduction tolerance upstream, but no detection may appear or
+  // vanish when the backend changes.
+  SimdBackendGuard guard;
+  RadarParams p = RadarParams::test_small();
+  p.beams = 3;
+  SceneConfig cfg;
+  cfg.cnr_db = 40.0;
+  const Target easy_target{40, 8.0, 0.0, 18.0};
+  const Target hard_target{90, 1.0, -0.35, 25.0};
+  cfg.targets = {easy_target, hard_target};
+
+  struct Cell {
+    std::size_t bin, beam, range;
+    bool operator==(const Cell&) const = default;
+  };
+  const auto run_chain = [&]() {
+    SceneGenerator gen(p, cfg, 21);
+    DopplerFilter filt(p);
+    const DopplerOutput prev = filt.process(gen.generate(0));
+    const DopplerOutput cur = filt.process(gen.generate(1));
+    WeightComputer wc_easy(p, prev.easy_bin_ids, p.easy_dof());
+    WeightComputer wc_hard(p, prev.hard_bin_ids, p.hard_dof());
+    Beamformer bf(p);
+    BeamArray y_easy = bf.apply(cur.easy, wc_easy.compute(prev.easy));
+    BeamArray y_hard = bf.apply(cur.hard, wc_hard.compute(prev.hard));
+    PulseCompressor pc(p);
+    pc.compress(y_easy);
+    pc.compress(y_hard);
+    CfarDetector cfar(p);
+    std::vector<Cell> cells;
+    for (const auto& d : cfar.detect(y_easy, cur.easy_bin_ids)) {
+      cells.push_back({d.bin, d.beam, d.range});
+    }
+    for (const auto& d : cfar.detect(y_hard, cur.hard_bin_ids)) {
+      cells.push_back({d.bin, d.beam, d.range});
+    }
+    return cells;
+  };
+
+  simd::force_backend(simd::Backend::kScalar);
+  const std::vector<Cell> ref = run_chain();
+  EXPECT_FALSE(ref.empty());
+
+  for (simd::Backend b : simd_backends()) {
+    simd::force_backend(b);
+    const std::vector<Cell> got = run_chain();
+    ASSERT_EQ(got.size(), ref.size()) << simd::backend_name(b);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].bin, ref[i].bin) << simd::backend_name(b) << " i=" << i;
+      EXPECT_EQ(got[i].beam, ref[i].beam);
+      EXPECT_EQ(got[i].range, ref[i].range);
+    }
+  }
 }
 
 }  // namespace
